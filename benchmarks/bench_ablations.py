@@ -1,0 +1,45 @@
+"""Ablation benches: what each of the paper's design choices is worth."""
+
+import pytest
+
+from repro.experiments import ablation_sweep, format_ablations
+from repro.core.decompose import decompose
+from repro.core.grid import TensorHierarchy
+from repro.kernels.launches import EngineOptions
+from repro.kernels.metered import GpuSimEngine
+
+
+@pytest.mark.parametrize(
+    "name,opts",
+    [
+        ("full", EngineOptions()),
+        ("no_packing", EngineOptions(pack_nodes=False)),
+        ("divergent", EngineOptions(divergence_free=False)),
+        ("naive", EngineOptions(framework="naive", pack_nodes=False)),
+    ],
+)
+def test_engine_variants_functional(benchmark, name, opts, rng):
+    data = rng.standard_normal((513, 513))
+    h = TensorHierarchy.from_shape((513, 513))
+
+    def run():
+        eng = GpuSimEngine(opts=opts)
+        decompose(data, h, eng)
+        return eng.clock
+
+    assert benchmark(run) > 0
+
+
+def test_ablation_tables(benchmark, report):
+    def build():
+        return {
+            "2d": ablation_sweep((4097, 4097)),
+            "3d": ablation_sweep((257, 257, 257)),
+        }
+
+    tables = benchmark(build)
+    text = "\n\n".join(format_ablations(v) for v in tables.values())
+    report("ablations", text)
+    rows_2d = {r.name: r for r in tables["2d"]}
+    assert rows_2d["no node packing"].slowdown > 1.1
+    assert rows_2d["naive linear kernels"].slowdown > 2.0

@@ -1,0 +1,52 @@
+"""Fig. 11: MGARD lossy-compression stage breakdown (CPU vs GPU offload).
+
+Functional part: real compress/decompress round trips (refactoring,
+quantization, zlib).  Modeled part: the per-stage breakdown rows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compress.mgard import MgardCompressor
+from repro.core.grid import TensorHierarchy
+from repro.experiments import fig11_mgard, format_fig11
+from repro.workloads.grayscott import simulate
+
+
+@pytest.fixture(scope="module")
+def field():
+    return simulate((65, 65, 65), steps=200, params="spots")
+
+
+@pytest.fixture(scope="module")
+def compressor(field):
+    hier = TensorHierarchy.from_shape(field.shape)
+    rng = float(field.max() - field.min()) or 1.0
+    return MgardCompressor(hier, 1e-3 * rng)
+
+
+def test_compress(benchmark, field, compressor):
+    blob = benchmark(compressor.compress, field)
+    assert blob.compression_ratio() > 2
+
+
+def test_decompress(benchmark, field, compressor):
+    blob = compressor.compress(field)
+    out = benchmark(compressor.decompress, blob)
+    assert np.abs(out - field).max() <= blob.tol
+
+
+def test_fig11(benchmark, report):
+    rows = benchmark.pedantic(
+        fig11_mgard, kwargs={"shape": (129, 129, 129), "steps": 200},
+        rounds=1, iterations=1,
+    )
+    report("fig11_mgard", format_fig11(rows))
+    by = {(r.config, r.operation): r for r in rows}
+    # the paper's story: offload shrinks the total and moves the
+    # bottleneck from refactoring to the (CPU) entropy stage
+    assert by[("GPU-offload", "compress")].total < by[("CPU", "compress")].total
+    assert (
+        by[("GPU-offload", "compress")].entropy_s
+        > by[("GPU-offload", "compress")].refactor_s
+    )

@@ -1,0 +1,42 @@
+"""Fig. 7: per-level mass-matrix throughput (CPU / naive GPU / LPF GPU).
+
+Functional part: times the vectorized host mass-matrix kernel at the
+finest and an intermediate level of the Fig. 7 sweep.  Modeled part:
+regenerates the full figure series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import TensorHierarchy
+from repro.core.mass import mass_apply
+from repro.experiments import bench_scale, fig7_mass_throughput, format_fig7
+
+
+@pytest.fixture(scope="module")
+def hier():
+    side = min(bench_scale().fig7_side, 2049)  # functional-size cap
+    return TensorHierarchy.from_shape((side, side))
+
+
+def test_mass_apply_finest_level(benchmark, hier, rng):
+    ops = hier.level_ops(hier.L, 0)
+    v = rng.standard_normal(hier.shape)
+    out = benchmark(mass_apply, v, ops.h_fine, 0)
+    assert out.shape == v.shape
+
+
+def test_mass_apply_coarse_level(benchmark, hier, rng):
+    l = max(hier.L - 4, 1)
+    ops = hier.level_ops(l, 0)
+    v = rng.standard_normal(hier.level_shape(l))
+    out = benchmark(mass_apply, v, ops.h_fine, 0)
+    assert np.isfinite(out).all()
+
+
+def test_fig7_series(benchmark, report):
+    pts = benchmark(fig7_mass_throughput, bench_scale().fig7_side)
+    report("fig7_mass_throughput", format_fig7(pts))
+    # the paper's qualitative claims, re-checked on the emitted artifact
+    assert all(p.lpf_gpu_gbps > p.naive_gpu_gbps for p in pts)
+    assert pts[0].naive_gpu_gbps / pts[-1].naive_gpu_gbps > 100

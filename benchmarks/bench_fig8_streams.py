@@ -1,0 +1,27 @@
+"""Fig. 8: CUDA-stream speedups on 3D data.
+
+Functional part: times the event-driven stream scheduler on a large
+launch list.  Modeled part: the full Fig. 8 sweep on both platforms.
+"""
+
+import pytest
+
+from repro.experiments import fig8_streams, format_fig8
+from repro.gpu.streams import StreamScheduler
+
+
+@pytest.mark.parametrize("n_streams", [1, 8])
+def test_scheduler_makespan(benchmark, n_streams, rng):
+    durations = list(rng.uniform(1e-5, 1e-3, size=2048))
+    sched = StreamScheduler(n_streams)
+    makespan = benchmark(sched.makespan, durations)
+    assert makespan >= max(durations)
+
+
+def test_fig8(benchmark, report):
+    sweeps = benchmark(fig8_streams)
+    report("fig8_streams", format_fig8(sweeps))
+    summit = {p.n_streams: p.speedup for p in sweeps["summit/decompose"]}
+    # paper: 2.6x at 8 streams, flat afterwards
+    assert 2.0 < summit[8] < 4.5
+    assert summit[64] == pytest.approx(summit[8])

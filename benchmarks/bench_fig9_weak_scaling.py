@@ -1,0 +1,41 @@
+"""Fig. 9: weak-scaling aggregate throughput to 4096 GPUs.
+
+Functional part: runs the real SPMD substrate (thread ranks refactoring
+independent partitions) at small rank counts.  Modeled part: the full
+Fig. 9 curves at 1 GB per GPU.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simmpi import run_spmd
+from repro.core.refactor import Refactorer
+from repro.experiments import fig9_weak_scaling, format_fig9
+
+
+@pytest.mark.parametrize("n_ranks", [1, 4])
+def test_spmd_refactoring(benchmark, n_ranks, rng):
+    data = rng.standard_normal((n_ranks * 65, 65))
+
+    def job():
+        def worker(comm):
+            chunk = comm.scatter(
+                [data[i * 65 : (i + 1) * 65] for i in range(comm.size)]
+                if comm.rank == 0
+                else None
+            )
+            r = Refactorer(chunk.shape)
+            return float(np.abs(r.recompose(r.decompose(chunk)) - chunk).max())
+
+        return run_spmd(worker, n_ranks)
+
+    errors = benchmark(job)
+    assert max(errors) < 1e-9
+
+
+def test_fig9(benchmark, report):
+    curves = benchmark(fig9_weak_scaling)
+    report("fig9_weak_scaling", format_fig9(curves))
+    # paper: 45.42 TB/s (2D dec), 17.78 TB/s (3D dec) at 4096 GPUs
+    assert 30 < curves["2D/decompose"][-1].aggregate_tbps < 70
+    assert 12 < curves["3D/decompose"][-1].aggregate_tbps < 35

@@ -1,0 +1,23 @@
+"""Offload break-even analysis and the paper-values validation report."""
+
+from repro.experiments import (
+    format_offload,
+    format_validation,
+    offload_experiment,
+    validation_report,
+)
+
+
+def test_offload(benchmark, report):
+    result = benchmark(offload_experiment)
+    report("offload_breakeven", format_offload(result))
+    for tag, (side, pts) in result.items():
+        assert side is not None, f"offload never pays off on {tag}"
+        assert side <= 257  # the paper's cost-effectiveness claim (§I)
+
+
+def test_validation(benchmark, report):
+    claims = benchmark(validation_report)
+    report("paper_validation", format_validation(claims))
+    out_of_band = [c.id for c in claims if not c.ok]
+    assert not out_of_band, f"claims out of band: {out_of_band}"

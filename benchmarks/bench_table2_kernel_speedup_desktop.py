@@ -1,0 +1,52 @@
+"""Table II: kernel-level speedups on the desktop (RTX 2080 Ti vs i7 core).
+
+Functional part: times the four vectorized host kernels at the finest
+level of the 2D sweep.  Modeled part: the full Table II.
+"""
+
+import pytest
+
+from repro.core.grid import TensorHierarchy
+from repro.core.mass import mass_apply
+from repro.core.solver import solve_correction
+from repro.core.transfer import transfer_apply
+from repro.core.coefficients import compute_coefficients
+from repro.experiments import bench_scale, format_kernel_table, kernel_speedup_table
+
+
+@pytest.fixture(scope="module")
+def setup(rng):
+    side = min(bench_scale().side_2d, 2049)
+    h = TensorHierarchy.from_shape((side, side))
+    ops = h.level_ops(h.L, 0)
+    v = rng.standard_normal((side, side))
+    return h, ops, v
+
+
+def test_compute_coefficients_kernel(benchmark, setup):
+    h, _, v = setup
+    benchmark(compute_coefficients, v, h, h.L)
+
+
+def test_mass_kernel(benchmark, setup):
+    _, ops, v = setup
+    benchmark(mass_apply, v, ops.h_fine, 0)
+
+
+def test_transfer_kernel(benchmark, setup):
+    _, ops, v = setup
+    benchmark(transfer_apply, v, ops, 0)
+
+
+def test_solve_kernel(benchmark, setup, rng):
+    _, ops, v = setup
+    g = rng.standard_normal((ops.m_coarse, v.shape[1]))
+    benchmark(solve_correction, g, ops, 0)
+
+
+def test_table2(benchmark, report):
+    s = bench_scale()
+    rows = benchmark(kernel_speedup_table, "desktop", s.side_2d, s.side_3d)
+    report("table2_kernel_speedup_desktop", format_kernel_table(rows, "desktop (Table II)"))
+    assert all(r.max > r.min for r in rows)
+    assert max(r.max for r in rows) > 100  # hundreds-x regime

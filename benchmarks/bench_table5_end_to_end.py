@@ -1,0 +1,51 @@
+"""Table V: one GPU vs one CPU core across grid sizes + extra memory.
+
+Functional part: times end-to-end refactoring through both metered
+engines at a mid-size grid and checks the modeled speedup is in the
+paper's band.  Modeled part: the full Table V sweep.
+"""
+
+import pytest
+
+from repro.core.decompose import decompose
+from repro.core.grid import TensorHierarchy
+from repro.experiments import bench_scale, format_table5, table5_end_to_end
+from repro.kernels.metered import CpuRefEngine, GpuSimEngine
+
+
+@pytest.fixture(scope="module")
+def mid_grid(rng):
+    return rng.standard_normal((513, 513))
+
+
+def test_gpu_engine_end_to_end(benchmark, mid_grid):
+    h = TensorHierarchy.from_shape(mid_grid.shape)
+
+    def run():
+        eng = GpuSimEngine()
+        decompose(mid_grid, h, eng)
+        return eng.clock
+
+    assert benchmark(run) > 0
+
+
+def test_cpu_engine_end_to_end(benchmark, mid_grid):
+    h = TensorHierarchy.from_shape(mid_grid.shape)
+
+    def run():
+        eng = CpuRefEngine()
+        decompose(mid_grid, h, eng)
+        return eng.clock
+
+    assert benchmark(run) > 0
+
+
+def test_table5(benchmark, report):
+    s = bench_scale()
+    rows = benchmark(table5_end_to_end, s.sweep_2d, s.sweep_3d)
+    report("table5_end_to_end", format_table5(rows))
+    largest_2d = [r for r in rows if len(r.shape) == 2][-1]
+    if s.name == "paper":
+        # paper: 311x Summit / 102x desktop at 8193^2
+        assert 150 < largest_2d.summit_decompose < 600
+        assert 50 < largest_2d.desktop_decompose < 250

@@ -1,0 +1,20 @@
+"""Table VI: all GPUs vs all CPU cores at node level."""
+
+from repro.cluster.node import DESKTOP, SUMMIT_NODE, node_speedup
+from repro.experiments import format_table6, table6_node_level
+
+
+def test_node_speedup_summit(benchmark):
+    row = benchmark(node_speedup, SUMMIT_NODE, (8193, 8193))
+    assert row["speedup"] > 10
+
+
+def test_node_speedup_desktop(benchmark):
+    row = benchmark(node_speedup, DESKTOP, (8193, 8193))
+    assert row["speedup"] > 1
+
+
+def test_table6(benchmark, report):
+    rows = benchmark(table6_node_level)
+    report("table6_node_level", format_table6(rows))
+    assert len(rows) == 8

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module does two things:
+
+1. times a *functional* representative of the experiment with
+   pytest-benchmark (real NumPy execution on this machine), and
+2. regenerates the paper's table/figure through the modeled experiment
+   generators and writes it to ``benchmarks/results/<name>.txt`` (also
+   echoed to the terminal when running with ``-s``).
+
+``REPRO_BENCH_SCALE=paper`` (the default) prints model tables at the
+paper's sizes; the functional timing parts always use CI-friendly sizes
+scaled by the same knob.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable writing an experiment's text block to results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2021)

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Regenerate docs/api.md from the live package's __all__ exports."""
+
+import importlib
+import inspect
+import io
+import pathlib
+
+MODULES = [
+    "repro", "repro.core", "repro.kernels", "repro.gpu", "repro.cluster",
+    "repro.compress", "repro.io", "repro.workloads", "repro.analysis",
+    "repro.experiments",
+]
+
+
+def main() -> None:
+    out = io.StringIO()
+    out.write("# Public API index\n\n")
+    out.write("Generated from the live package (every name in each module's\n")
+    out.write("`__all__`, with its docstring's first line).  Regenerate with\n")
+    out.write("`python scripts/gen_api_docs.py`.\n")
+    for modname in MODULES:
+        mod = importlib.import_module(modname)
+        out.write(f"\n## `{modname}`\n\n")
+        doc = (inspect.getdoc(mod) or "").split("\n")[0]
+        if doc:
+            out.write(doc + "\n\n")
+        out.write("| name | kind | summary |\n|---|---|---|\n")
+        for name in sorted(getattr(mod, "__all__", []), key=str.lower):
+            obj = getattr(mod, name)
+            if inspect.isclass(obj):
+                kind = "class"
+            elif inspect.isfunction(obj):
+                kind = "function"
+            elif callable(obj):
+                kind = "callable"
+            else:
+                kind = type(obj).__name__
+            summary = (inspect.getdoc(obj) or "").split("\n")[0].replace("|", "\\|")
+            out.write(f"| `{name}` | {kind} | {summary} |\n")
+    target = pathlib.Path(__file__).resolve().parent.parent / "docs" / "api.md"
+    target.write_text(out.getvalue())
+    print(f"wrote {target}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml.  This file exists only so that
+``pip install -e . --no-use-pep517`` works on environments whose
+setuptools predates native bdist_wheel support (no ``wheel`` package and
+no network to fetch one).
+"""
+
+from setuptools import setup
+
+setup()

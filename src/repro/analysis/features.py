@@ -1,0 +1,86 @@
+"""Analyst-facing feature metrics for reduced-accuracy data.
+
+Beyond the paper's iso-surface area, analysts judge reduced data by
+whether *their* derived features survive.  This module collects the
+common checks, each returning an accuracy-style score in ``[0, 1]``
+(1 = feature perfectly preserved), so they can be compared across class
+prefixes the same way the paper compares iso-surface area:
+
+* :func:`histogram_similarity` — value-distribution overlap (what
+  histogram-based detectors see);
+* :func:`extrema_preservation` — how well the global min/max survive
+  (what threshold alarms see);
+* :func:`mass_conservation` — relative preservation of the field's
+  integral (what budget/conservation checks see);
+* :func:`gradient_energy_ratio` — preserved fraction of gradient
+  energy (what edge/front trackers see; fine classes carry most of it,
+  so this is the *hardest* feature for a class prefix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "histogram_similarity",
+    "extrema_preservation",
+    "mass_conservation",
+    "gradient_energy_ratio",
+    "feature_report",
+]
+
+
+def histogram_similarity(approx: np.ndarray, exact: np.ndarray, bins: int = 64) -> float:
+    """Histogram intersection of the two fields' value distributions."""
+    lo = min(float(approx.min()), float(exact.min()))
+    hi = max(float(approx.max()), float(exact.max()))
+    if hi <= lo:
+        return 1.0
+    ha, _ = np.histogram(approx, bins=bins, range=(lo, hi), density=False)
+    he, _ = np.histogram(exact, bins=bins, range=(lo, hi), density=False)
+    inter = np.minimum(ha, he).sum()
+    return float(inter / max(he.sum(), 1))
+
+
+def extrema_preservation(approx: np.ndarray, exact: np.ndarray) -> float:
+    """How well the global extrema survive, relative to the data range."""
+    rng = float(exact.max() - exact.min())
+    if rng == 0.0:
+        return 1.0
+    err = max(
+        abs(float(approx.max()) - float(exact.max())),
+        abs(float(approx.min()) - float(exact.min())),
+    )
+    return max(0.0, 1.0 - err / rng)
+
+
+def mass_conservation(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Relative preservation of the field integral (plain node sum)."""
+    total = float(np.abs(exact.sum()))
+    if total == 0.0:
+        return 1.0 if abs(float(approx.sum())) < 1e-12 else 0.0
+    return max(0.0, 1.0 - abs(float(approx.sum()) - float(exact.sum())) / total)
+
+
+def gradient_energy_ratio(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Fraction of the exact field's gradient energy the approximation keeps."""
+    def energy(f):
+        total = 0.0
+        for axis in range(f.ndim):
+            total += float(np.sum(np.square(np.diff(f, axis=axis), dtype=np.float64)))
+        return total
+
+    e_exact = energy(exact)
+    if e_exact == 0.0:
+        return 1.0
+    return float(min(energy(approx) / e_exact, 1.0))
+
+
+def feature_report(approx: np.ndarray, exact: np.ndarray) -> dict[str, float]:
+    """All feature scores at once (plus the paper's accuracy convention)."""
+    return {
+        "histogram": histogram_similarity(approx, exact),
+        "extrema": extrema_preservation(approx, exact),
+        "mass": mass_conservation(approx, exact),
+        "gradient_energy": gradient_energy_ratio(approx, exact),
+    }

@@ -1,0 +1,173 @@
+"""Iso-surface extraction metrics for the visualization showcase (§V-A).
+
+The paper judges reduced-accuracy reconstructions by a feature of the
+visualization output: "the total area of the iso-surfaces", reporting
+~95 % accuracy with three of ten coefficient classes.  This module
+computes that feature:
+
+* :func:`isosurface_area` — 3D iso-surface area via *marching
+  tetrahedra*: each hexahedral cell is split into six tetrahedra around
+  its main diagonal; each tetrahedron contributes a triangle (one
+  vertex separated) or a quad (two-two split) whose corners are linear
+  edge interpolations.  Marching tetrahedra is topologically unambiguous
+  (no case-table holes), which keeps the area metric stable under small
+  data perturbations — exactly what an accuracy comparison needs.
+* :func:`contour_length` — the 2D analogue (marching triangles).
+
+Both are fully vectorized over cells and handle non-uniform grid
+coordinates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["isosurface_area", "contour_length", "feature_accuracy"]
+
+#: Six-tetrahedron decomposition of the unit cube around diagonal 0-7.
+#: Corner ids use bit k = offset along axis k: id = dx + 2*dy + 4*dz.
+_CUBE_TETS = (
+    (0, 1, 3, 7),
+    (0, 3, 2, 7),
+    (0, 2, 6, 7),
+    (0, 6, 4, 7),
+    (0, 4, 5, 7),
+    (0, 5, 1, 7),
+)
+
+#: The two triangles of the unit square (corners 0=(0,0) 1=(1,0) 2=(0,1) 3=(1,1)).
+_SQUARE_TRIS = ((0, 1, 3), (0, 3, 2))
+
+
+def _corner_arrays(field: np.ndarray, coords: list[np.ndarray]):
+    """Per-corner value and coordinate arrays over all cells.
+
+    Returns ``values[corner_id]`` with shape ``cells`` and
+    ``points[corner_id]`` with shape ``cells + (ndim,)``.
+    """
+    ndim = field.ndim
+    n_corners = 1 << ndim
+    cell_shape = tuple(s - 1 for s in field.shape)
+    grids = np.meshgrid(*[c for c in coords], indexing="ij")
+    values = []
+    points = []
+    for cid in range(n_corners):
+        sl = tuple(
+            slice(1, None) if (cid >> k) & 1 else slice(0, -1) for k in range(ndim)
+        )
+        values.append(field[sl])
+        points.append(np.stack([g[sl] for g in grids], axis=-1))
+    assert values[0].shape == cell_shape
+    return values, points
+
+
+def _edge_point(pa, pb, fa, fb, iso):
+    """Linear interpolation of the iso crossing on edge a-b."""
+    denom = fb - fa
+    t = np.where(np.abs(denom) > 0, (iso - fa) / np.where(denom == 0, 1.0, denom), 0.5)
+    t = np.clip(t, 0.0, 1.0)[..., None]
+    return pa + t * (pb - pa)
+
+
+def _tri_area(p0, p1, p2):
+    """Areas of triangles given corner stacks shaped (..., 3)."""
+    c = np.cross(p1 - p0, p2 - p0)
+    return 0.5 * np.linalg.norm(c, axis=-1)
+
+
+def isosurface_area(
+    field: np.ndarray,
+    iso: float,
+    coords: tuple[np.ndarray, ...] | None = None,
+) -> float:
+    """Total iso-surface area of a 3D field at level ``iso``."""
+    if field.ndim != 3:
+        raise ValueError("isosurface_area expects a 3D field")
+    if coords is None:
+        coords = tuple(np.arange(n, dtype=np.float64) for n in field.shape)
+    values, points = _corner_arrays(field, list(coords))
+    total = 0.0
+    for tet in _CUBE_TETS:
+        f = [values[i] for i in tet]
+        p = [points[i] for i in tet]
+        above = [fi > iso for fi in f]
+        n_above = sum(a.astype(np.int8) for a in above)
+
+        # one vertex separated (above or below): single triangle
+        for lone in range(4):
+            others = [i for i in range(4) if i != lone]
+            mask_above = above[lone]
+            for o in others:
+                mask_above = mask_above & ~above[o]
+            mask_below = ~above[lone]
+            for o in others:
+                mask_below = mask_below & above[o]
+            mask = mask_above | mask_below
+            if not mask.any():
+                continue
+            idx = np.nonzero(mask)
+            qs = [
+                _edge_point(
+                    p[lone][idx], p[o][idx], f[lone][idx], f[o][idx], iso
+                )
+                for o in others
+            ]
+            total += float(_tri_area(qs[0], qs[1], qs[2]).sum())
+
+        # two-two split: quad = two triangles
+        for a, b in ((0, 1), (0, 2), (0, 3)):
+            c_, d_ = [i for i in range(4) if i not in (a, b)]
+            pat = above[a] & above[b] & ~above[c_] & ~above[d_]
+            pat |= ~above[a] & ~above[b] & above[c_] & above[d_]
+            mask = pat & (n_above == 2)
+            if not mask.any():
+                continue
+            idx = np.nonzero(mask)
+            q0 = _edge_point(p[a][idx], p[c_][idx], f[a][idx], f[c_][idx], iso)
+            q1 = _edge_point(p[a][idx], p[d_][idx], f[a][idx], f[d_][idx], iso)
+            q2 = _edge_point(p[b][idx], p[d_][idx], f[b][idx], f[d_][idx], iso)
+            q3 = _edge_point(p[b][idx], p[c_][idx], f[b][idx], f[c_][idx], iso)
+            total += float(_tri_area(q0, q1, q2).sum())
+            total += float(_tri_area(q0, q2, q3).sum())
+    return total
+
+
+def contour_length(
+    field: np.ndarray,
+    iso: float,
+    coords: tuple[np.ndarray, ...] | None = None,
+) -> float:
+    """Total iso-contour length of a 2D field at level ``iso``."""
+    if field.ndim != 2:
+        raise ValueError("contour_length expects a 2D field")
+    if coords is None:
+        coords = tuple(np.arange(n, dtype=np.float64) for n in field.shape)
+    values, points = _corner_arrays(field, list(coords))
+    total = 0.0
+    for tri in _SQUARE_TRIS:
+        f = [values[i] for i in tri]
+        p = [points[i] for i in tri]
+        above = [fi > iso for fi in f]
+        for lone in range(3):
+            others = [i for i in range(3) if i != lone]
+            mask_above = above[lone] & ~above[others[0]] & ~above[others[1]]
+            mask_below = ~above[lone] & above[others[0]] & above[others[1]]
+            mask = mask_above | mask_below
+            if not mask.any():
+                continue
+            idx = np.nonzero(mask)
+            q0 = _edge_point(
+                p[lone][idx], p[others[0]][idx], f[lone][idx], f[others[0]][idx], iso
+            )
+            q1 = _edge_point(
+                p[lone][idx], p[others[1]][idx], f[lone][idx], f[others[1]][idx], iso
+            )
+            total += float(np.linalg.norm(q1 - q0, axis=-1).sum())
+    return total
+
+
+def feature_accuracy(approx_value: float, exact_value: float) -> float:
+    """The paper's accuracy metric for a derived feature, in [0, 1]."""
+    if exact_value == 0.0:
+        return 1.0 if approx_value == 0.0 else 0.0
+    return max(0.0, 1.0 - abs(approx_value - exact_value) / abs(exact_value))

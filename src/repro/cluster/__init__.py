@@ -1,0 +1,32 @@
+"""Cluster substrate: simulated MPI, node models, weak-scaling model."""
+
+from .pipeline import PipelineModel, workflow_pipeline
+from .partition import BlockPlan, BlockRefactorer, plan_blocks
+from .node import DESKTOP, NodeSpec, SUMMIT_NODE, node_speedup, partition_shape
+from .scaling import (
+    WeakScalingPoint,
+    shape_for_bytes_2d,
+    shape_for_bytes_3d,
+    weak_scaling,
+)
+from .simmpi import SimComm, SpmdError, run_spmd
+
+__all__ = [
+    "BlockPlan",
+    "BlockRefactorer",
+    "DESKTOP",
+    "NodeSpec",
+    "PipelineModel",
+    "SUMMIT_NODE",
+    "SimComm",
+    "SpmdError",
+    "WeakScalingPoint",
+    "node_speedup",
+    "partition_shape",
+    "plan_blocks",
+    "run_spmd",
+    "shape_for_bytes_2d",
+    "shape_for_bytes_3d",
+    "weak_scaling",
+    "workflow_pipeline",
+]

@@ -1,0 +1,99 @@
+"""Weak-scaling model: aggregated refactoring throughput (paper Fig. 9).
+
+The paper assigns one MPI process per GPU, 1 GB of simulation data per
+process, and scales to 4096 GPUs (4 per Summit node); decomposition and
+recomposition run independently per process, so the aggregate
+throughput is ``total_bytes / slowest_rank_time``.  The model combines
+
+* the per-GPU pass time from :mod:`repro.gpu.analytic`,
+* a deterministic per-rank jitter (OS noise, clock/binning variation —
+  a few percent, seeded by rank id so runs are reproducible), and
+* a slowly growing straggler term: the expected maximum of the jitter
+  across ranks grows with ``log2(N)``, which is what bends weak-scaling
+  curves slightly below ideal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.grid import TensorHierarchy
+from ..gpu.analytic import model_pass
+from ..gpu.device import DeviceSpec, V100
+
+__all__ = ["WeakScalingPoint", "weak_scaling", "shape_for_bytes_2d", "shape_for_bytes_3d"]
+
+
+def shape_for_bytes_2d(nbytes: int, itemsize: int = 8) -> tuple[int, int]:
+    """Square 2D grid holding approximately ``nbytes`` of data."""
+    side = int(math.sqrt(nbytes / itemsize))
+    return (side, side)
+
+
+def shape_for_bytes_3d(nbytes: int, itemsize: int = 8) -> tuple[int, int, int]:
+    """Cubic 3D grid holding approximately ``nbytes`` of data."""
+    side = round((nbytes / itemsize) ** (1.0 / 3.0))
+    return (side, side, side)
+
+
+@dataclass
+class WeakScalingPoint:
+    """One point of the Fig. 9 weak-scaling curve."""
+
+    n_gpus: int
+    per_gpu_bytes: int
+    rank_seconds: float
+    slowest_seconds: float
+    aggregate_tbps: float
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of ideal (jitter-free) aggregate throughput."""
+        return self.rank_seconds / self.slowest_seconds
+
+
+def weak_scaling(
+    shape: tuple[int, ...],
+    gpu_counts: tuple[int, ...] = (1, 4, 16, 64, 256, 1024, 4096),
+    device: DeviceSpec = V100,
+    operation: str = "decompose",
+    opts=None,
+    jitter: float = 0.03,
+    seed: int = 2021,
+) -> list[WeakScalingPoint]:
+    """Model aggregate throughput versus GPU count (paper Fig. 9).
+
+    ``shape`` is the per-GPU partition (the paper: 1 GB each).  The
+    deterministic jitter draws one relative slowdown per rank; the
+    aggregate uses the slowest rank, evaluated exactly for the first
+    4096 ranks from a seeded generator so the curve is reproducible.
+    """
+    from ..kernels.launches import EngineOptions
+
+    if opts is None:
+        opts = EngineOptions(n_streams=8 if len(shape) >= 3 else 1)
+    hier = TensorHierarchy.from_shape(shape)
+    per_gpu_bytes = int(np.prod(shape)) * 8
+    t = model_pass(hier, device, opts, operation).total_seconds
+    rng = np.random.default_rng(seed)
+    max_n = max(gpu_counts)
+    slowdowns = 1.0 + jitter * rng.random(max_n)
+    out = []
+    for n in gpu_counts:
+        if n < 1:
+            raise ValueError("gpu count must be positive")
+        slowest = t * float(np.max(slowdowns[:n]))
+        agg = n * per_gpu_bytes / slowest / 1e12
+        out.append(
+            WeakScalingPoint(
+                n_gpus=n,
+                per_gpu_bytes=per_gpu_bytes,
+                rank_seconds=t,
+                slowest_seconds=slowest,
+                aggregate_tbps=agg,
+            )
+        )
+    return out

@@ -1,0 +1,31 @@
+"""MGARD-style error-bounded lossy compression (paper Showcase V-B)."""
+
+from .fileio import CompressedFileError, load_compressed, save_compressed
+from .huffman import HuffmanCode, huffman_decode, huffman_encode
+from .lossless import BACKENDS, decode_bins, encode_bins
+from .mgard import CompressedData, MgardCompressor, StageTimes
+from .quantizer import QuantizedClasses, Quantizer
+from .rate import RDPoint, bd_rate_gain, rate_distortion_curve
+from .timeseries import CompressedSeries, TimeSeriesCompressor
+
+__all__ = [
+    "BACKENDS",
+    "CompressedData",
+    "CompressedFileError",
+    "CompressedSeries",
+    "HuffmanCode",
+    "MgardCompressor",
+    "QuantizedClasses",
+    "RDPoint",
+    "Quantizer",
+    "StageTimes",
+    "TimeSeriesCompressor",
+    "bd_rate_gain",
+    "decode_bins",
+    "encode_bins",
+    "huffman_decode",
+    "huffman_encode",
+    "load_compressed",
+    "rate_distortion_curve",
+    "save_compressed",
+]

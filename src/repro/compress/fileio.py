@@ -1,0 +1,96 @@
+"""On-disk format for compressed data (the ``.mgz`` files of repro-tool).
+
+Layout: magic, little-endian u64 header length, JSON header (shape,
+tolerance, quantizer metadata, per-class payload extents + CRC32s),
+then the class payloads back to back.  Self-contained: decompression
+needs nothing but the file (the hierarchy is rebuilt from the shape;
+non-uniform coordinates, when used, are embedded in the header).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from ..core.grid import TensorHierarchy
+from .mgard import CompressedData
+
+__all__ = ["save_compressed", "load_compressed", "CompressedFileError"]
+
+_MAGIC = b"RPMG\x01\x00"
+
+
+class CompressedFileError(RuntimeError):
+    """Malformed compressed file."""
+
+
+def save_compressed(
+    path: str | Path,
+    blob: CompressedData,
+    coords: tuple[np.ndarray, ...] | None = None,
+) -> int:
+    """Write a :class:`CompressedData` to disk; returns bytes written."""
+    extents = []
+    offset = 0
+    for p in blob.payloads:
+        extents.append({"offset": offset, "nbytes": len(p), "crc32": zlib.crc32(p)})
+        offset += len(p)
+    header = {
+        "shape": list(blob.shape),
+        "tol": blob.tol,
+        "mode": blob.mode,
+        "steps": blob.steps,
+        "headers": blob.headers,
+        "extents": extents,
+        "coords": None if coords is None else [c.tolist() for c in coords],
+    }
+    hbytes = json.dumps(header).encode()
+    path = Path(path)
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        f.write(struct.pack("<Q", len(hbytes)))
+        f.write(hbytes)
+        for p in blob.payloads:
+            f.write(p)
+    return len(_MAGIC) + 8 + len(hbytes) + offset
+
+
+def load_compressed(path: str | Path) -> tuple[CompressedData, TensorHierarchy]:
+    """Read a compressed file back into (blob, matching hierarchy)."""
+    path = Path(path)
+    with open(path, "rb") as f:
+        magic = f.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise CompressedFileError(f"bad magic in {path}")
+        (hlen,) = struct.unpack("<Q", f.read(8))
+        try:
+            header = json.loads(f.read(hlen).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            raise CompressedFileError(f"corrupt header in {path}") from e
+        payloads = []
+        for ext in header["extents"]:
+            raw = f.read(ext["nbytes"])
+            if len(raw) != ext["nbytes"]:
+                raise CompressedFileError(f"truncated payload in {path}")
+            if zlib.crc32(raw) != ext["crc32"]:
+                raise CompressedFileError(f"checksum mismatch in {path}")
+            payloads.append(raw)
+    shape = tuple(header["shape"])
+    coords = header.get("coords")
+    hier = TensorHierarchy.from_shape(
+        shape,
+        None if coords is None else tuple(np.asarray(c) for c in coords),
+    )
+    blob = CompressedData(
+        payloads=payloads,
+        headers=header["headers"],
+        steps=list(header["steps"]),
+        shape=shape,
+        tol=float(header["tol"]),
+        mode=str(header["mode"]),
+    )
+    return blob, hier

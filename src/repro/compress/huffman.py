@@ -1,0 +1,202 @@
+"""Canonical Huffman coder for quantized coefficient integers.
+
+MGARD's entropy stage Huffman-codes the quantizer output (most bins are
+at or near zero for smooth data, so the distribution is highly skewed
+and Huffman does well) before a final lossless pass.  This is a clean,
+self-contained canonical-Huffman implementation:
+
+* symbols are the distinct int64 bin values, with a configurable escape
+  mechanism for rare outliers (values outside the dense symbol table
+  are emitted as an ESCAPE code followed by 64 raw bits);
+* code assignment is canonical (sorted by (length, symbol)), so the
+  decoder only needs the (symbol, length) pairs;
+* bit packing is vectorized through NumPy.
+
+The coder is exact: ``decode(encode(x)) == x`` for any int64 array.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["HuffmanCode", "huffman_encode", "huffman_decode"]
+
+_ESCAPE = object()  # sentinel symbol for out-of-table values
+
+
+@dataclass
+class HuffmanCode:
+    """A canonical Huffman code book: symbol -> (code, length)."""
+
+    lengths: dict  # symbol (int or _ESCAPE) -> code length
+    codes: dict  # symbol -> code value (int, MSB-first)
+
+    @classmethod
+    def from_frequencies(cls, freqs: dict) -> "HuffmanCode":
+        """Build a canonical code from symbol frequencies."""
+        if not freqs:
+            raise ValueError("cannot build a Huffman code from no symbols")
+        if len(freqs) == 1:
+            sym = next(iter(freqs))
+            return cls(lengths={sym: 1}, codes={sym: 0})
+        # standard Huffman tree -> code lengths
+        heap = [(f, i, sym) for i, (sym, f) in enumerate(freqs.items())]
+        heapq.heapify(heap)
+        parent: dict[int, int] = {}
+        nodes: list = [sym for _, _, sym in sorted(heap, key=lambda t: t[1])]
+        # rebuild heap with node ids
+        heap = [(f, i) for i, (f, _, _) in enumerate(sorted(heap, key=lambda t: t[1]))]
+        heapq.heapify(heap)
+        next_id = len(nodes)
+        while len(heap) > 1:
+            fa, a = heapq.heappop(heap)
+            fb, b = heapq.heappop(heap)
+            parent[a] = next_id
+            parent[b] = next_id
+            nodes.append(None)
+            heapq.heappush(heap, (fa + fb, next_id))
+            next_id += 1
+        lengths = {}
+        for i, sym in enumerate(nodes):
+            if sym is None:
+                continue
+            depth = 0
+            j = i
+            while j in parent:
+                depth += 1
+                j = parent[j]
+            lengths[sym] = max(depth, 1)
+        return cls.from_lengths(lengths)
+
+    @classmethod
+    def from_lengths(cls, lengths: dict) -> "HuffmanCode":
+        """Assign canonical codes given per-symbol lengths."""
+        def keyfn(item):
+            sym, ln = item
+            # order: length, then escape last, then symbol value
+            return (ln, 1 if sym is _ESCAPE else 0, sym if sym is not _ESCAPE else 0)
+
+        code = 0
+        prev_len = 0
+        codes = {}
+        for sym, ln in sorted(lengths.items(), key=keyfn):
+            code <<= ln - prev_len
+            codes[sym] = code
+            code += 1
+            prev_len = ln
+        return cls(lengths=dict(lengths), codes=codes)
+
+    def decoding_table(self):
+        """(sorted list of (code, length, symbol)) for the decoder."""
+        return sorted(
+            ((self.codes[s], self.lengths[s], s) for s in self.codes),
+            key=lambda t: (t[1], t[0]),
+        )
+
+
+def _build_code(values: np.ndarray, max_table: int) -> HuffmanCode:
+    counts = Counter(values.tolist())
+    if len(counts) > max_table:
+        # keep the most frequent symbols; the tail goes through ESCAPE
+        kept = dict(counts.most_common(max_table - 1))
+        escaped = sum(f for s, f in counts.items() if s not in kept)
+        kept[_ESCAPE] = max(escaped, 1)
+        counts = kept
+    elif len(counts) == 0:
+        counts = {0: 1}
+    return HuffmanCode.from_frequencies(dict(counts))
+
+
+def huffman_encode(values: np.ndarray, max_table: int = 4096) -> tuple[bytes, dict]:
+    """Encode an int64 array; returns (payload, header).
+
+    The header carries the canonical code book as plain Python data
+    (symbol/length pairs) plus the element count; it is what a container
+    format would serialize alongside the payload.
+    """
+    values = np.ascontiguousarray(values, dtype=np.int64).ravel()
+    code = _build_code(values, max_table)
+    esc_len = code.lengths.get(_ESCAPE)
+    # emit (code, length) per element
+    bit_chunks: list[tuple[int, int]] = []
+    table_codes = code.codes
+    table_lengths = code.lengths
+    for v in values.tolist():
+        if v in table_codes:
+            bit_chunks.append((table_codes[v], table_lengths[v]))
+        else:
+            if esc_len is None:
+                raise AssertionError("value outside table but no escape code")
+            bit_chunks.append((table_codes[_ESCAPE], esc_len))
+            bit_chunks.append((v & ((1 << 64) - 1), 64))
+    # pack MSB-first
+    total_bits = sum(ln for _, ln in bit_chunks)
+    buf = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
+    pos = 0
+    for val, ln in bit_chunks:
+        for shift in range(ln - 1, -1, -1):
+            if (val >> shift) & 1:
+                buf[pos >> 3] |= 0x80 >> (pos & 7)
+            pos += 1
+    header = {
+        "n": int(values.size),
+        "bits": int(total_bits),
+        "table": [
+            ("ESC" if s is _ESCAPE else int(s), int(ln)) for s, ln in code.lengths.items()
+        ],
+    }
+    return buf.tobytes(), header
+
+
+def huffman_decode(payload: bytes, header: dict) -> np.ndarray:
+    """Invert :func:`huffman_encode`."""
+    lengths = {
+        (_ESCAPE if s == "ESC" else int(s)): int(ln) for s, ln in header["table"]
+    }
+    code = HuffmanCode.from_lengths(lengths)
+    # first-code/first-symbol tables per length for canonical decoding
+    by_len: dict[int, dict[int, object]] = {}
+    for sym, c in code.codes.items():
+        by_len.setdefault(code.lengths[sym], {})[c] = sym
+    bits = np.unpackbits(np.frombuffer(payload, dtype=np.uint8))[: header["bits"]]
+    out = np.empty(header["n"], dtype=np.int64)
+    pos = 0
+    acc = 0
+    acc_len = 0
+    i = 0
+    n_bits = bits.shape[0]
+    max_len = max(by_len) if by_len else 1
+    while i < header["n"]:
+        sym = None
+        while sym is None:
+            if pos >= n_bits:
+                raise ValueError("truncated Huffman payload")
+            acc = (acc << 1) | int(bits[pos])
+            acc_len += 1
+            pos += 1
+            if acc_len > max_len and acc_len > 64:
+                raise ValueError("corrupt Huffman payload: code too long")
+            table = by_len.get(acc_len)
+            if table is not None and acc in table:
+                sym = table[acc]
+        acc = 0
+        acc_len = 0
+        if sym is _ESCAPE:
+            if pos + 64 > n_bits:
+                raise ValueError("truncated escape payload")
+            raw = 0
+            for _ in range(64):
+                raw = (raw << 1) | int(bits[pos])
+                pos += 1
+            # interpret as signed 64-bit
+            if raw >= 1 << 63:
+                raw -= 1 << 64
+            out[i] = raw
+        else:
+            out[i] = sym
+        i += 1
+    return out

@@ -1,0 +1,65 @@
+"""Lossless entropy backends for the compression pipeline.
+
+The paper's MGARD workflow keeps its entropy stage ("ZLib lossless
+compression") on the CPU; this module wraps :mod:`zlib` with integer
+narrowing (quantized bins are overwhelmingly tiny integers, so packing
+them into the narrowest dtype before deflate roughly halves the output)
+and exposes the pure-Python canonical Huffman coder as an alternative
+reference backend.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from .huffman import huffman_decode, huffman_encode
+
+__all__ = ["encode_bins", "decode_bins", "BACKENDS"]
+
+BACKENDS = ("zlib", "huffman")
+
+
+def _narrow_dtype(values: np.ndarray) -> np.dtype:
+    """Smallest signed integer dtype that holds every value."""
+    if values.size == 0:
+        return np.dtype(np.int8)
+    lo, hi = int(values.min()), int(values.max())
+    for dt in (np.int8, np.int16, np.int32, np.int64):
+        info = np.iinfo(dt)
+        if info.min <= lo and hi <= info.max:
+            return np.dtype(dt)
+    raise AssertionError("int64 always fits")  # pragma: no cover
+
+
+def encode_bins(values: np.ndarray, backend: str = "zlib", level: int = 6) -> tuple[bytes, dict]:
+    """Losslessly encode an int64 bin array; returns (payload, header)."""
+    values = np.ascontiguousarray(values, dtype=np.int64)
+    if backend == "zlib":
+        dt = _narrow_dtype(values)
+        raw = values.astype(dt).tobytes()
+        payload = zlib.compress(raw, level)
+        header = {"backend": "zlib", "dtype": dt.str, "n": int(values.size)}
+        return payload, header
+    if backend == "huffman":
+        payload, hh = huffman_encode(values)
+        hh["backend"] = "huffman"
+        return payload, hh
+    raise ValueError(f"unknown lossless backend {backend!r}; choose from {BACKENDS}")
+
+
+def decode_bins(payload: bytes, header: dict) -> np.ndarray:
+    """Invert :func:`encode_bins`."""
+    backend = header.get("backend")
+    if backend == "zlib":
+        raw = zlib.decompress(payload)
+        values = np.frombuffer(raw, dtype=np.dtype(header["dtype"]))
+        if values.size != header["n"]:
+            raise ValueError(
+                f"decoded {values.size} values, expected {header['n']}"
+            )
+        return values.astype(np.int64)
+    if backend == "huffman":
+        return huffman_decode(payload, header)
+    raise ValueError(f"unknown lossless backend {backend!r}")

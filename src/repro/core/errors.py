@@ -1,0 +1,99 @@
+"""Error metrics and multilevel diagnostics.
+
+Companion utilities for validating refactoring quality: norms, PSNR, and
+the per-class magnitude/decay statistics the Ainsworth et al. theory
+predicts (detail coefficients of a smooth field shrink like ``O(h_l^2)``
+— a factor ~4 per level for the dyadic hierarchy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .classes import CoefficientClasses
+
+__all__ = [
+    "linf",
+    "l2",
+    "rel_linf",
+    "rel_l2",
+    "psnr",
+    "ClassDecay",
+    "class_decay",
+]
+
+
+def linf(a: np.ndarray, b: np.ndarray | None = None) -> float:
+    """Maximum absolute difference (or magnitude when ``b`` is omitted)."""
+    d = a if b is None else a - b
+    return float(np.max(np.abs(d))) if d.size else 0.0
+
+
+def l2(a: np.ndarray, b: np.ndarray | None = None) -> float:
+    """Euclidean norm of the (element-wise) difference."""
+    d = a if b is None else a - b
+    return float(np.sqrt(np.sum(np.square(d, dtype=np.float64))))
+
+
+def rel_linf(approx: np.ndarray, exact: np.ndarray) -> float:
+    """L∞ error relative to the data range of ``exact``."""
+    rng = float(np.max(exact) - np.min(exact))
+    err = linf(approx, exact)
+    if rng == 0.0:
+        return 0.0 if err == 0.0 else np.inf
+    return err / rng
+
+def rel_l2(approx: np.ndarray, exact: np.ndarray) -> float:
+    """L2 error relative to the L2 norm of ``exact``."""
+    denom = l2(exact)
+    err = l2(approx, exact)
+    if denom == 0.0:
+        return 0.0 if err == 0.0 else np.inf
+    return err / denom
+
+
+def psnr(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for an exact match)."""
+    rng = float(np.max(exact) - np.min(exact))
+    mse = float(np.mean(np.square(approx - exact, dtype=np.float64)))
+    if mse == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return -float("inf")
+    return 10.0 * np.log10(rng * rng / mse)
+
+
+@dataclass
+class ClassDecay:
+    """Per-class magnitude statistics of a refactored dataset."""
+
+    max_abs: list[float]
+    rms: list[float]
+
+    def decay_ratios(self) -> list[float]:
+        """Ratio of consecutive detail-class max magnitudes, coarse→fine.
+
+        For smooth data each ratio should be ≲ ~0.5 (theory: ~0.25 for
+        the second-order interpolation on a dyadic grid).  Class 0 (the
+        nodal values) is excluded — it is not a detail class.
+        """
+        mags = self.max_abs[1:]
+        out = []
+        for a, b in zip(mags[:-1], mags[1:]):
+            out.append(b / a if a > 0 else float("nan"))
+        return out
+
+
+def class_decay(cc: CoefficientClasses) -> ClassDecay:
+    """Compute magnitude statistics of each coefficient class."""
+    max_abs, rms = [], []
+    for c in cc.classes:
+        if c.size == 0:
+            max_abs.append(0.0)
+            rms.append(0.0)
+            continue
+        max_abs.append(float(np.max(np.abs(c))))
+        rms.append(float(np.sqrt(np.mean(np.square(c, dtype=np.float64)))))
+    return ClassDecay(max_abs=max_abs, rms=rms)

@@ -1,0 +1,91 @@
+"""Tridiagonal correction solver (the paper's *solve correction* kernel).
+
+The global correction ``z_{l-1}`` satisfies ``M_{l-1} z = f`` with the
+coarse mass matrix ``M_{l-1}`` (symmetric positive definite, tridiagonal).
+The paper solves with a Thomas-style forward/backward substitution; we
+provide
+
+``solve_correction``
+    Batched solve along an arbitrary axis using a precomputed banded
+    Cholesky factorization (LAPACK ``pbtrs`` via SciPy), the fast path.
+
+``thomas_solve``
+    A literal Thomas-algorithm implementation used by the simulated-GPU
+    linear-processing kernels and as an independent cross-check of the
+    SciPy path.  It mirrors the sequential data dependence the paper's
+    kernel must respect and the ``O(m)`` extra diagonal buffer the paper
+    reports as its only extra memory footprint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_solve_banded
+
+from .grid import LevelOps
+
+__all__ = ["solve_correction", "thomas_solve", "thomas_factor"]
+
+
+def solve_correction(f: np.ndarray, ops: LevelOps, axis: int = -1) -> np.ndarray:
+    """Solve ``M_{l-1} z = f`` along ``axis`` (batched over other axes)."""
+    f = np.moveaxis(f, axis, -1)
+    m = f.shape[-1]
+    if m != ops.m_coarse:
+        raise ValueError(f"axis length {m} does not match m_coarse={ops.m_coarse}")
+    if m == 1:
+        return np.moveaxis(f / ops.mass_bands_coarse[1, 0], -1, axis)
+    batch_shape = f.shape[:-1]
+    rhs = f.reshape(-1, m).T  # (m, nrhs) as LAPACK expects
+    z = cho_solve_banded((ops.chol_coarse, False), np.ascontiguousarray(rhs))
+    z = z.T.reshape(*batch_shape, m)
+    return np.moveaxis(z, -1, axis)
+
+
+def thomas_factor(ops: LevelOps) -> tuple[np.ndarray, np.ndarray]:
+    """Precompute the Thomas forward-elimination coefficients.
+
+    Returns ``(cp, denom)`` where ``cp[i]`` is the modified superdiagonal
+    and ``denom[i]`` the modified pivot, both of length ``m_coarse``.
+    These depend only on the grid coordinates, so the paper precomputes
+    (or streams) them; the ``O(m)`` pivot buffer is exactly the "extra
+    memory footprint" the paper quantifies for this kernel.
+    """
+    bands = ops.mass_bands_coarse
+    m = bands.shape[1]
+    lower = bands[0, 1:]  # symmetric: sub-diagonal equals super-diagonal
+    diag = bands[1]
+    upper = bands[0, 1:]
+    cp = np.zeros(m, dtype=np.float64)
+    denom = np.zeros(m, dtype=np.float64)
+    denom[0] = diag[0]
+    if m > 1:
+        cp[0] = upper[0] / diag[0]
+        for i in range(1, m):
+            denom[i] = diag[i] - lower[i - 1] * cp[i - 1]
+            if i < m - 1:
+                cp[i] = upper[i] / denom[i]
+    return cp, denom
+
+
+def thomas_solve(f: np.ndarray, ops: LevelOps, axis: int = -1) -> np.ndarray:
+    """Batched Thomas solve of ``M_{l-1} z = f`` along ``axis``.
+
+    A straightforward forward-elimination / back-substitution with the
+    sequential dependence along the solve axis vectorized over the batch,
+    matching the structure of the paper's linear-processing solver kernel.
+    """
+    f = np.moveaxis(f, axis, -1).astype(np.float64, copy=True)
+    m = f.shape[-1]
+    if m != ops.m_coarse:
+        raise ValueError(f"axis length {m} does not match m_coarse={ops.m_coarse}")
+    if m == 1:
+        return np.moveaxis(f / ops.mass_bands_coarse[1, 0], -1, axis)
+    lower = ops.mass_bands_coarse[0, 1:]
+    cp, denom = thomas_factor(ops)
+    f[..., 0] /= denom[0]
+    for i in range(1, m):
+        f[..., i] = (f[..., i] - lower[i - 1] * f[..., i - 1]) / denom[i]
+    for i in range(m - 2, -1, -1):
+        f[..., i] -= cp[i] * f[..., i + 1]
+    return np.moveaxis(f, -1, axis)

@@ -1,0 +1,96 @@
+"""Ablations of the paper's design choices (DESIGN.md §5).
+
+Not a paper artifact per se, but the quantitative support for the
+paper's §III design discussion: what each optimization is worth.  Each
+ablation flips one :class:`~repro.kernels.launches.EngineOptions` knob
+and reports the end-to-end slowdown relative to the full design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpu.analytic import model_pass_shape
+from ..gpu.device import DeviceSpec, V100
+from .common import format_table
+
+__all__ = ["AblationRow", "ablation_sweep", "format_ablations"]
+
+
+@dataclass
+class AblationRow:
+    """Slowdown of one ablated configuration."""
+
+    name: str
+    shape: tuple[int, ...]
+    seconds: float
+    slowdown: float
+    description: str
+
+
+def ablation_sweep(
+    shape: tuple[int, ...] = (4097, 4097),
+    device: DeviceSpec = V100,
+    operation: str = "decompose",
+) -> list[AblationRow]:
+    """Modeled cost of disabling each optimization, one at a time."""
+    from ..kernels.launches import EngineOptions
+
+    n_streams = 8 if len(shape) >= 3 else 1
+    configs = [
+        ("full design", EngineOptions(n_streams=n_streams), "all optimizations on"),
+        (
+            "no node packing",
+            EngineOptions(pack_nodes=False, n_streams=n_streams),
+            "kernels pay the 2^(L-l) stride (paper §III-C opt. 1)",
+        ),
+        (
+            "divergent warps",
+            EngineOptions(divergence_free=False, n_streams=n_streams),
+            "no Algorithm-1 thread re-assignment",
+        ),
+        (
+            "naive linear kernels",
+            EngineOptions(framework="naive", pack_nodes=False, n_streams=n_streams),
+            "vector-wise parallelism on unpacked data ([14]-style)",
+        ),
+        (
+            "element-wise kernels",
+            EngineOptions(framework="elementwise", n_streams=n_streams),
+            "max parallelism, out-of-place (+100% memory footprint)",
+        ),
+    ]
+    if len(shape) >= 3:
+        configs.append(
+            (
+                "single stream",
+                EngineOptions(n_streams=1),
+                "no CUDA-stream slice overlap (paper §III-D opt. 3)",
+            )
+        )
+    base = None
+    rows = []
+    for name, opts, desc in configs:
+        t = model_pass_shape(shape, device, opts, operation).total_seconds
+        if base is None:
+            base = t
+        rows.append(
+            AblationRow(
+                name=name, shape=shape, seconds=t, slowdown=t / base, description=desc
+            )
+        )
+    return rows
+
+
+def format_ablations(rows: list[AblationRow]) -> str:
+    """Text rendering of an ablation sweep."""
+    table_rows = [
+        [r.name, f"{r.seconds * 1e3:.2f}ms", f"{r.slowdown:.2f}x", r.description]
+        for r in rows
+    ]
+    shape = "x".join(str(s) for s in rows[0].shape)
+    return format_table(
+        ["configuration", "time", "slowdown", "what it means"],
+        table_rows,
+        title=f"Ablations of the GPU design on {shape} (modeled)",
+    )

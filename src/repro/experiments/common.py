@@ -1,0 +1,91 @@
+"""Shared helpers for the experiment generators.
+
+Each ``repro.experiments`` module regenerates one of the paper's tables
+or figures and returns both structured data and a formatted text block
+(the same rows/series the paper reports).  ``bench scale`` switches
+between CI-friendly sizes and the paper's full sizes via the
+``REPRO_BENCH_SCALE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["bench_scale", "Scale", "format_table", "format_seconds", "SCALES"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Grid sizes used by the experiment harness at one scale setting."""
+
+    name: str
+    side_2d: int  # largest 2D side (paper: 8193)
+    side_3d: int  # largest 3D side (paper: 513)
+    sweep_2d: tuple[int, ...]
+    sweep_3d: tuple[int, ...]
+    fig7_side: int  # paper: 4097
+    gpus_max: int  # paper: 4096
+
+
+SCALES = {
+    "ci": Scale(
+        name="ci",
+        side_2d=1025,
+        side_3d=129,
+        sweep_2d=(33, 65, 129, 257, 513, 1025),
+        sweep_3d=(33, 65, 129),
+        fig7_side=1025,
+        gpus_max=4096,
+    ),
+    "paper": Scale(
+        name="paper",
+        side_2d=8193,
+        side_3d=513,
+        sweep_2d=(33, 65, 129, 257, 513, 1025, 2049, 4097, 8193),
+        sweep_3d=(33, 65, 129, 257, 513),
+        fig7_side=4097,
+        gpus_max=4096,
+    ),
+}
+
+
+def bench_scale() -> Scale:
+    """Scale selected by ``REPRO_BENCH_SCALE`` (``paper`` default, or ``ci``).
+
+    Note that *modeled* experiments (every table/figure generator in
+    this package) are shape-only and run the paper scale instantly; the
+    scale mainly matters for benchmarks that also execute functionally.
+    """
+    name = os.environ.get("REPRO_BENCH_SCALE", "paper").lower()
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}, got {name!r}")
+    return SCALES[name]
+
+
+def format_seconds(t: float) -> str:
+    """Human-scaled seconds for table cells."""
+    if t == 0:
+        return "0"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1:
+        return f"{t * 1e3:.2f}ms"
+    return f"{t:.2f}s"
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Fixed-width text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    fmt = "  ".join(f"{{:>{w}}}" for w in widths)
+    lines.append(fmt.format(*headers))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(fmt.format(*row))
+    return "\n".join(lines)

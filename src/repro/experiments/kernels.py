@@ -1,0 +1,212 @@
+"""Kernel-level experiments: paper Fig. 7 and Tables II/III.
+
+The paper benchmarks its four major kernels across the level sweep of a
+large decomposition: each level presents the kernel with a smaller grid
+and (for the unpacked CPU/naive designs) a larger access stride.  Fig. 7
+plots per-level memory throughput of the mass-matrix kernel for the
+serial CPU code, a naive vector-wise GPU port, and the linear-processing
+framework; Tables II/III summarize per-kernel speedups (max/min/avg over
+the sweep) for the desktop and Summit platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.grid import TensorHierarchy
+from ..gpu.cost import KernelLaunch, cpu_kernel_time, gpu_kernel_time
+from ..gpu.device import CpuSpec, DeviceSpec, I7_9700K_CORE, POWER9_CORE, RTX2080TI, V100
+from ..kernels import launches as L
+from .common import format_table
+
+__all__ = [
+    "Fig7Point",
+    "fig7_mass_throughput",
+    "format_fig7",
+    "KernelSpeedup",
+    "kernel_speedups",
+    "format_kernel_table",
+]
+
+_GPU_OPTS = L.EngineOptions()
+_NAIVE_OPTS = L.EngineOptions(framework="naive", pack_nodes=False)
+_CPU_OPTS = L.EngineOptions(framework="naive", pack_nodes=False)
+
+
+@dataclass
+class Fig7Point:
+    """Throughput of the mass-matrix kernel at one decomposition level."""
+
+    level: int
+    grid_side: int
+    stride: int
+    cpu_gbps: float
+    naive_gpu_gbps: float
+    lpf_gpu_gbps: float
+
+
+def _mass_records(hier: TensorHierarchy, l: int) -> dict[str, KernelLaunch]:
+    shape = hier.level_shape(l)
+    st = hier.level_stride(l, hier.ndim - 1)
+    return {
+        "cpu": L.mass_launch(shape, 0, opts=_CPU_OPTS, level=l, stride=st),
+        "naive": L.mass_launch(shape, 0, opts=_NAIVE_OPTS, level=l, stride=st),
+        "lpf": L.mass_launch(shape, 0, opts=_GPU_OPTS, level=l, stride=st),
+    }
+
+
+def fig7_mass_throughput(
+    side: int = 4097,
+    device: DeviceSpec = V100,
+    cpu: CpuSpec = POWER9_CORE,
+) -> list[Fig7Point]:
+    """Per-level mass-matrix throughput for the three designs (Fig. 7).
+
+    Throughput is useful bytes (read + write of the level grid) over
+    modeled kernel time, like the paper's GB/s axis.
+    """
+    hier = TensorHierarchy.from_shape((side, side))
+    out = []
+    for l in range(hier.L, 0, -1):
+        recs = _mass_records(hier, l)
+        useful = recs["lpf"].total_bytes
+        out.append(
+            Fig7Point(
+                level=l,
+                grid_side=hier.level_shape(l)[0],
+                stride=hier.level_stride(l, 1),
+                cpu_gbps=useful / cpu_kernel_time(recs["cpu"], cpu) / 1e9,
+                naive_gpu_gbps=useful / gpu_kernel_time(recs["naive"], device) / 1e9,
+                lpf_gpu_gbps=useful / gpu_kernel_time(recs["lpf"], device) / 1e9,
+            )
+        )
+    return out
+
+
+def format_fig7(points: list[Fig7Point]) -> str:
+    """Text rendering of the Fig. 7 series."""
+    rows = [
+        [
+            str(p.level),
+            str(p.grid_side),
+            str(p.stride),
+            f"{p.cpu_gbps:.3f}",
+            f"{p.naive_gpu_gbps:.3f}",
+            f"{p.lpf_gpu_gbps:.1f}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["level", "grid", "stride", "CPU GB/s", "naive GPU GB/s", "LPF GPU GB/s"],
+        rows,
+        title="Fig 7: mass-matrix throughput per decomposition level",
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables II / III
+# ----------------------------------------------------------------------
+
+@dataclass
+class KernelSpeedup:
+    """Max/min/avg speedup of one kernel over the level sweep."""
+
+    kernel: str
+    dims: str
+    max: float
+    min: float
+    avg: float
+
+
+def _level_kernel_records(hier: TensorHierarchy, l: int, opts: L.EngineOptions):
+    """One record per kernel category at level ``l`` (first coarsening axis)."""
+    shape = hier.level_shape(l)
+    st = hier.level_stride(l, hier.ndim - 1)
+    axis = hier.coarsening_dims(l)[0]
+    ops = hier.level_ops(l, axis)
+    cur = list(shape)
+    recs = {
+        "Comp. Coefficients": L.coefficients_launch(shape, opts=opts, level=l, stride=st),
+        "Mass Matrix Mult.": L.mass_launch(tuple(cur), axis, opts=opts, level=l, stride=st),
+        "Trans. Matrix Mult.": L.transfer_launch(
+            tuple(cur), axis, ops.m_coarse, opts=opts, level=l, stride=st
+        ),
+    }
+    cur[axis] = ops.m_coarse
+    recs["Solve Correction"] = L.solve_launch(tuple(cur), axis, opts=opts, level=l, stride=st)
+    return recs
+
+
+def kernel_speedups(
+    shape: tuple[int, ...],
+    device: DeviceSpec = V100,
+    cpu: CpuSpec = POWER9_CORE,
+    kernels: tuple[str, ...] | None = None,
+) -> list[KernelSpeedup]:
+    """Per-kernel GPU-vs-serial-CPU speedups over the level sweep.
+
+    Reproduces the regime of Tables II/III: the same kernel invoked on
+    every grid of the multilevel sweep (grid sizes ``5…N`` as in the
+    paper's "Grid Size" column), CPU strided versus GPU packed.  The
+    CPU side is charged the per-call setup cost
+    (``CpuSpec.kernel_call_overhead_us``) that standalone kernel
+    benchmarking exposes; the end-to-end pipeline (Tables IV/V) reuses
+    buffers and does not pay it.
+    """
+    hier = TensorHierarchy.from_shape(shape)
+    dims = f"{len(shape)}D"
+    cpu_overhead = cpu.kernel_call_overhead_us * 1e-6
+    per_kernel: dict[str, list[float]] = {}
+    for l in range(hier.L, 0, -1):
+        cpu_recs = _level_kernel_records(hier, l, _CPU_OPTS)
+        gpu_recs = _level_kernel_records(hier, l, _GPU_OPTS)
+        for name in cpu_recs:
+            t_cpu = cpu_kernel_time(cpu_recs[name], cpu) + cpu_overhead
+            s = t_cpu / gpu_kernel_time(gpu_recs[name], device)
+            per_kernel.setdefault(name, []).append(s)
+    wanted = kernels if kernels is not None else tuple(per_kernel)
+    out = []
+    for name in wanted:
+        vals = per_kernel[name]
+        out.append(
+            KernelSpeedup(
+                kernel=name,
+                dims=dims,
+                max=max(vals),
+                min=min(vals),
+                avg=sum(vals) / len(vals),
+            )
+        )
+    return out
+
+
+def kernel_speedup_table(
+    platform: str,
+    side_2d: int = 8193,
+    side_3d: int = 513,
+) -> list[KernelSpeedup]:
+    """Full Table II (``platform="desktop"``) or III (``"summit"``)."""
+    if platform == "desktop":
+        device, cpu = RTX2080TI, I7_9700K_CORE
+    elif platform == "summit":
+        device, cpu = V100, POWER9_CORE
+    else:
+        raise ValueError("platform must be 'desktop' or 'summit'")
+    rows = kernel_speedups(
+        (side_3d,) * 3, device, cpu, kernels=("Comp. Coefficients",)
+    )
+    rows += kernel_speedups((side_2d,) * 2, device, cpu)
+    return rows
+
+
+def format_kernel_table(rows: list[KernelSpeedup], platform: str) -> str:
+    """Text rendering of Table II/III."""
+    table_rows = [
+        [r.dims, r.kernel, f"{r.max:.2f}x", f"{r.min:.2f}x", f"{r.avg:.2f}x"]
+        for r in rows
+    ]
+    return format_table(
+        ["dims", "kernel", "max", "min", "avg"],
+        table_rows,
+        title=f"Kernel speedups (GPU vs serial CPU) on {platform}",
+    )

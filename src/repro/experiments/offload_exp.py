@@ -1,0 +1,56 @@
+"""Offload break-even experiment (paper §I's qualitative claim, quantified).
+
+Models in-situ CPU refactoring against GPU offload (transfers included)
+across grid sizes, locating the break-even point on both platforms.
+"""
+
+from __future__ import annotations
+
+from ..gpu.device import I7_9700K_CORE, POWER9_CORE, RTX2080TI, V100
+from ..gpu.offload import OffloadPoint, offload_breakeven
+from .common import format_seconds, format_table
+
+__all__ = ["offload_experiment", "format_offload"]
+
+
+def offload_experiment(ndim: int = 2) -> dict[str, tuple[int | None, list[OffloadPoint]]]:
+    """Break-even sweeps for both platforms (2D by default)."""
+    sides = (17, 33, 65, 129, 257, 513, 1025, 2049, 4097)
+    if ndim == 3:
+        sides = (9, 17, 33, 65, 129, 257, 513)
+    out = {}
+    for device, cpu, tag in (
+        (V100, POWER9_CORE, "summit (NVLink)"),
+        (RTX2080TI, I7_9700K_CORE, "desktop (PCIe)"),
+    ):
+        out[tag] = offload_breakeven(sides, ndim=ndim, device=device, cpu=cpu)
+    return out
+
+
+def format_offload(result: dict[str, tuple[int | None, list[OffloadPoint]]]) -> str:
+    """Text rendering of the offload break-even sweeps."""
+    blocks = []
+    for tag, (side, pts) in result.items():
+        rows = [
+            [
+                "x".join(str(s) for s in p.shape),
+                format_seconds(p.cpu_seconds),
+                format_seconds(p.transfer_seconds),
+                format_seconds(p.gpu_seconds),
+                f"{p.offload_speedup:.2f}x",
+                "yes" if p.worthwhile else "no",
+            ]
+            for p in pts
+        ]
+        title = (
+            f"Offload analysis on {tag} — break-even at "
+            f"{side if side is not None else 'never'}"
+        )
+        blocks.append(
+            format_table(
+                ["input", "in-situ CPU", "transfers", "GPU pass", "speedup", "offload?"],
+                rows,
+                title=title,
+            )
+        )
+    return "\n\n".join(blocks)

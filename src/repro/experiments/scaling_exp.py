@@ -1,0 +1,70 @@
+"""Figures 8 and 9: CUDA-stream speedups and weak scaling.
+
+Thin experiment wrappers over :mod:`repro.gpu.streams` and
+:mod:`repro.cluster.scaling` that produce the paper's series.
+"""
+
+from __future__ import annotations
+
+from ..cluster.scaling import WeakScalingPoint, shape_for_bytes_2d, weak_scaling
+from ..gpu.device import DeviceSpec, RTX2080TI, V100
+from ..gpu.streams import StreamSweepPoint, stream_sweep
+from .common import format_table
+
+__all__ = [
+    "fig8_streams",
+    "format_fig8",
+    "fig9_weak_scaling",
+    "format_fig9",
+]
+
+
+def fig8_streams(
+    shape: tuple[int, int, int] = (513, 513, 513),
+    streams: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+) -> dict[str, list[StreamSweepPoint]]:
+    """Fig. 8: stream speedups on both platforms, both operations."""
+    out = {}
+    for device, tag in ((RTX2080TI, "desktop"), (V100, "summit")):
+        for operation in ("decompose", "recompose"):
+            out[f"{tag}/{operation}"] = stream_sweep(shape, device, streams, operation)
+    return out
+
+
+def format_fig8(sweeps: dict[str, list[StreamSweepPoint]]) -> str:
+    """Text rendering of the Fig. 8 sweeps."""
+    headers = ["config"] + [f"{p.n_streams} streams" for p in next(iter(sweeps.values()))]
+    rows = [
+        [key] + [f"{p.speedup:.2f}x" for p in pts] for key, pts in sweeps.items()
+    ]
+    return format_table(
+        headers, rows, title="Fig 8: speedup from CUDA streams on 3D data (513^3, modeled)"
+    )
+
+
+def fig9_weak_scaling(
+    gpu_counts: tuple[int, ...] = (1, 4, 16, 64, 256, 1024, 4096),
+    per_gpu_bytes: int = 10**9,
+    device: DeviceSpec = V100,
+) -> dict[str, list[WeakScalingPoint]]:
+    """Fig. 9: aggregate refactoring throughput, 1 GB per GPU."""
+    shape_2d = shape_for_bytes_2d(per_gpu_bytes)
+    shape_3d = (513, 513, 513)  # the paper's ~1 GB 3D partition
+    out = {}
+    for shape, tag in ((shape_2d, "2D"), (shape_3d, "3D")):
+        for operation in ("decompose", "recompose"):
+            out[f"{tag}/{operation}"] = weak_scaling(
+                shape, gpu_counts, device, operation
+            )
+    return out
+
+
+def format_fig9(curves: dict[str, list[WeakScalingPoint]]) -> str:
+    """Text rendering of the Fig. 9 curves."""
+    headers = ["config"] + [f"{p.n_gpus} GPUs" for p in next(iter(curves.values()))]
+    rows = [
+        [key] + [f"{p.aggregate_tbps:.2f}" for p in pts] for key, pts in curves.items()
+    ]
+    return format_table(
+        headers, rows, title="Fig 9: aggregate throughput (TB/s) at scale, 1 GB per GPU (modeled)"
+    )

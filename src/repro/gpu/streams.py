@@ -1,0 +1,90 @@
+"""CUDA-stream scheduling model (paper §III-D optimization 3, Fig. 8).
+
+For 3D inputs the paper reuses its 2D linear-processing kernels slice by
+slice; a single stream leaves the GPU under-occupied, so slices are
+spread over up to 64 CUDA streams.  Two views are provided:
+
+* :class:`StreamScheduler` — an event-driven simulator that assigns a
+  list of per-launch durations to ``n`` streams FIFO and reports the
+  makespan (used in tests to show the closed-form wave model of
+  :func:`repro.gpu.cost.gpu_kernel_time` is a faithful summary);
+* :func:`stream_sweep` — the Fig. 8 experiment: end-to-end modeled pass
+  time and speedup versus stream count.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..core.grid import TensorHierarchy
+from .analytic import model_pass
+from .device import DeviceSpec
+
+__all__ = ["StreamScheduler", "StreamSweepPoint", "stream_sweep"]
+
+
+class StreamScheduler:
+    """FIFO assignment of kernel launches onto concurrent streams."""
+
+    def __init__(self, n_streams: int):
+        if n_streams < 1:
+            raise ValueError("need at least one stream")
+        self.n_streams = n_streams
+
+    def makespan(self, durations: list[float]) -> float:
+        """Completion time of launching ``durations`` FIFO across streams.
+
+        Each launch is issued to the earliest-available stream, like the
+        round-robin stream assignment of the paper's 3D driver.
+        """
+        if not durations:
+            return 0.0
+        heap = [0.0] * min(self.n_streams, len(durations))
+        heapq.heapify(heap)
+        for d in durations:
+            t = heapq.heappop(heap)
+            heapq.heappush(heap, t + d)
+        return max(heap)
+
+    def timeline(self, durations: list[float]) -> list[tuple[int, float, float]]:
+        """(stream, start, end) for every launch, in issue order."""
+        heap = [(0.0, s) for s in range(self.n_streams)]
+        heapq.heapify(heap)
+        out = []
+        for d in durations:
+            t, s = heapq.heappop(heap)
+            out.append((s, t, t + d))
+            heapq.heappush(heap, (t + d, s))
+        return out
+
+
+@dataclass
+class StreamSweepPoint:
+    """One point of the Fig. 8 stream sweep."""
+
+    n_streams: int
+    seconds: float
+    speedup: float
+
+
+def stream_sweep(
+    shape: tuple[int, ...],
+    device: DeviceSpec,
+    streams: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    operation: str = "decompose",
+) -> list[StreamSweepPoint]:
+    """Model pass time versus CUDA-stream count (paper Fig. 8).
+
+    The baseline (speedup 1.0) is the single-stream configuration, as in
+    the paper.
+    """
+    from ..kernels.launches import EngineOptions
+
+    hier = TensorHierarchy.from_shape(shape)
+    base = model_pass(hier, device, EngineOptions(n_streams=1), operation).total_seconds
+    out = []
+    for s in streams:
+        t = model_pass(hier, device, EngineOptions(n_streams=s), operation).total_seconds
+        out.append(StreamSweepPoint(n_streams=s, seconds=t, speedup=base / t))
+    return out

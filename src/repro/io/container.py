@@ -1,0 +1,157 @@
+"""Self-describing container for refactored data (the ADIOS stand-in).
+
+The paper stores refactored data through ADIOS so consumers can read a
+*prefix* of coefficient classes.  This module provides an equivalent
+single-file container:
+
+* a JSON header (shape, coordinates digest, dtype, per-class offsets);
+* one binary extent per coefficient class, laid out coarse-to-fine so a
+  prefix read is a single contiguous range.
+
+``read_classes(k)`` reads only the first ``k`` classes — the partial-
+read capability the whole showcase is about.  Integrity is protected by
+per-class CRC32 checksums.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.classes import CoefficientClasses, class_sizes
+from ..core.grid import TensorHierarchy
+
+__all__ = ["RefactoredFileWriter", "RefactoredFileReader", "write_refactored", "ContainerError"]
+
+_MAGIC = b"RPRC\x01\x00"
+
+
+class ContainerError(RuntimeError):
+    """Malformed or inconsistent container file."""
+
+
+@dataclass
+class _ClassExtent:
+    offset: int
+    nbytes: int
+    crc32: int
+    count: int
+
+
+class RefactoredFileWriter:
+    """Write coefficient classes into a self-describing container file."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def write(self, cc: CoefficientClasses, attrs: dict | None = None) -> int:
+        """Write all classes; returns total bytes written."""
+        extents = []
+        blobs = []
+        offset = 0
+        for values in cc.classes:
+            raw = np.ascontiguousarray(values, dtype=np.float64).tobytes()
+            extents.append(
+                _ClassExtent(
+                    offset=offset, nbytes=len(raw),
+                    crc32=zlib.crc32(raw), count=int(values.size),
+                )
+            )
+            blobs.append(raw)
+            offset += len(raw)
+        header = {
+            "shape": list(cc.hier.shape),
+            "dtype": "<f8",
+            "n_classes": cc.n_classes,
+            "classes": [
+                {"offset": e.offset, "nbytes": e.nbytes, "crc32": e.crc32, "count": e.count}
+                for e in extents
+            ],
+            "attrs": attrs or {},
+        }
+        hbytes = json.dumps(header).encode()
+        with open(self.path, "wb") as f:
+            f.write(_MAGIC)
+            f.write(struct.pack("<Q", len(hbytes)))
+            f.write(hbytes)
+            for raw in blobs:
+                f.write(raw)
+        return len(_MAGIC) + 8 + len(hbytes) + offset
+
+
+class RefactoredFileReader:
+    """Read class prefixes (or single classes) out of a container file."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        with open(self.path, "rb") as f:
+            magic = f.read(len(_MAGIC))
+            if magic != _MAGIC:
+                raise ContainerError(f"bad magic in {self.path}")
+            (hlen,) = struct.unpack("<Q", f.read(8))
+            try:
+                self.header = json.loads(f.read(hlen).decode())
+            except (UnicodeDecodeError, json.JSONDecodeError) as e:
+                raise ContainerError(f"corrupt header in {self.path}") from e
+            self._payload_start = len(_MAGIC) + 8 + hlen
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.header["shape"])
+
+    @property
+    def n_classes(self) -> int:
+        return int(self.header["n_classes"])
+
+    @property
+    def attrs(self) -> dict:
+        return dict(self.header["attrs"])
+
+    def class_nbytes(self) -> list[int]:
+        return [int(c["nbytes"]) for c in self.header["classes"]]
+
+    def read_class(self, l: int, verify: bool = True) -> np.ndarray:
+        """Read a single coefficient class."""
+        if not 0 <= l < self.n_classes:
+            raise ContainerError(f"class {l} out of range [0, {self.n_classes})")
+        meta = self.header["classes"][l]
+        with open(self.path, "rb") as f:
+            f.seek(self._payload_start + meta["offset"])
+            raw = f.read(meta["nbytes"])
+        if len(raw) != meta["nbytes"]:
+            raise ContainerError(f"truncated class {l} in {self.path}")
+        if verify and zlib.crc32(raw) != meta["crc32"]:
+            raise ContainerError(f"checksum mismatch for class {l} in {self.path}")
+        return np.frombuffer(raw, dtype=np.float64).copy()
+
+    def read_classes(self, k: int | None = None, verify: bool = True) -> list[np.ndarray]:
+        """Read the first ``k`` classes (all when ``None``) — a prefix read."""
+        k = self.n_classes if k is None else k
+        if not 1 <= k <= self.n_classes:
+            raise ContainerError(f"k must be in [1, {self.n_classes}], got {k}")
+        return [self.read_class(l, verify=verify) for l in range(k)]
+
+    def to_coefficient_classes(
+        self, hier: TensorHierarchy | None = None
+    ) -> CoefficientClasses:
+        """Reassemble a full :class:`CoefficientClasses` (all classes)."""
+        hier = hier if hier is not None else TensorHierarchy.from_shape(self.shape)
+        if hier.shape != self.shape:
+            raise ContainerError(
+                f"hierarchy shape {hier.shape} does not match file {self.shape}"
+            )
+        classes = self.read_classes()
+        expected = class_sizes(hier)
+        if [c.size for c in classes] != expected:
+            raise ContainerError("class sizes in file do not match the hierarchy")
+        return CoefficientClasses(hier, classes)
+
+
+def write_refactored(path: str | Path, cc: CoefficientClasses, attrs: dict | None = None) -> int:
+    """Convenience wrapper around :class:`RefactoredFileWriter`."""
+    return RefactoredFileWriter(path).write(cc, attrs=attrs)

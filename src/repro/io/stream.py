@@ -1,0 +1,149 @@
+"""Streaming producer→consumer coupling over refactored time steps.
+
+The paper's Figure 1 shows a *running* simulation sharing data with
+analysis routines; in practice that means appending one refactored time
+step after another while consumers read — possibly behind the producer,
+possibly at reduced accuracy.  This module provides that coupling on a
+directory:
+
+* :class:`StepStreamWriter` — appends steps; each step is one
+  refactored-data container plus a manifest entry (atomic rename, so a
+  concurrent reader never sees a half-written step);
+* :class:`StepStreamReader` — lists/loads steps, reading only the class
+  prefix a consumer's accuracy needs (via the s-norm hint recorded by
+  the producer).
+
+The manifest stores per-step metadata (shape, class byte sizes, s-norm
+truncation estimates) so a consumer can choose its prefix *before*
+touching the heavy payload — the Figure-1 "hint" across time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..core.classes import CoefficientClasses, reconstruct_from_classes
+from ..core.grid import TensorHierarchy
+from ..core.refactor import Refactorer
+from ..core.snorm import truncation_estimate
+from .container import RefactoredFileReader, write_refactored
+
+__all__ = ["StepStreamWriter", "StepStreamReader", "StreamError"]
+
+_MANIFEST = "manifest.json"
+
+
+class StreamError(RuntimeError):
+    """Malformed or inconsistent stream directory."""
+
+
+class StepStreamWriter:
+    """Producer side: append refactored time steps to a directory."""
+
+    def __init__(self, root: str | Path, shape: tuple[int, ...]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.refactorer = Refactorer(tuple(shape))
+        self._manifest_path = self.root / _MANIFEST
+        if self._manifest_path.exists():
+            manifest = json.loads(self._manifest_path.read_text())
+            if tuple(manifest["shape"]) != tuple(shape):
+                raise StreamError(
+                    f"stream at {root} has shape {manifest['shape']}, not {shape}"
+                )
+            self._steps = manifest["steps"]
+        else:
+            self._steps = []
+            self._flush_manifest(shape)
+
+    def _flush_manifest(self, shape) -> None:
+        payload = json.dumps(
+            {"shape": list(shape), "steps": self._steps}, indent=1
+        )
+        tmp = self._manifest_path.with_suffix(".tmp")
+        tmp.write_text(payload)
+        os.replace(tmp, self._manifest_path)  # atomic on POSIX
+
+    @property
+    def n_steps(self) -> int:
+        return len(self._steps)
+
+    def append(self, field: np.ndarray, time: float | None = None) -> int:
+        """Refactor and persist one step; returns its index."""
+        cc = self.refactorer.refactor(field)
+        idx = len(self._steps)
+        name = f"step_{idx:06d}.rprc"
+        tmp = self.root / (name + ".tmp")
+        write_refactored(tmp, cc, attrs={"step": idx, "time": time})
+        os.replace(tmp, self.root / name)
+        hints = [
+            truncation_estimate(cc, k) for k in range(1, cc.n_classes + 1)
+        ]
+        self._steps.append(
+            {
+                "file": name,
+                "time": time,
+                "class_bytes": [int(c.nbytes) for c in cc.classes],
+                "truncation_estimates": hints,
+            }
+        )
+        self._flush_manifest(self.refactorer.shape)
+        return idx
+
+
+class StepStreamReader:
+    """Consumer side: read steps (or prefixes of them) from a stream."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        path = self.root / _MANIFEST
+        if not path.exists():
+            raise StreamError(f"no stream manifest at {self.root}")
+        manifest = json.loads(path.read_text())
+        self.shape = tuple(manifest["shape"])
+        self.steps = manifest["steps"]
+        self.hier = TensorHierarchy.from_shape(self.shape)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    def classes_needed(self, step: int, tol: float) -> int:
+        """Prefix length meeting ``tol`` — decided from the manifest only."""
+        meta = self._meta(step)
+        for k, est in enumerate(meta["truncation_estimates"], start=1):
+            if est <= tol:
+                return k
+        return len(meta["truncation_estimates"])
+
+    def read(self, step: int, k: int | None = None, tol: float | None = None):
+        """Reconstruct a step from its first ``k`` classes.
+
+        Pass ``tol`` instead of ``k`` to let the manifest hint choose.
+        Returns ``(field, bytes_read)``.
+        """
+        if (k is None) == (tol is None):
+            raise ValueError("pass exactly one of k or tol")
+        meta = self._meta(step)
+        if tol is not None:
+            k = self.classes_needed(step, tol)
+        reader = RefactoredFileReader(self.root / meta["file"])
+        classes = reader.read_classes(k)
+        field = reconstruct_from_classes(classes, self.hier)
+        return field, sum(meta["class_bytes"][:k])
+
+    def read_full(self, step: int) -> CoefficientClasses:
+        """All classes of a step, as a :class:`CoefficientClasses`."""
+        meta = self._meta(step)
+        return RefactoredFileReader(self.root / meta["file"]).to_coefficient_classes(
+            self.hier
+        )
+
+    def _meta(self, step: int) -> dict:
+        if not 0 <= step < len(self.steps):
+            raise StreamError(f"step {step} out of range [0, {len(self.steps)})")
+        return self.steps[step]

@@ -1,0 +1,39 @@
+"""Kernel frameworks and metered execution engines.
+
+Embodies the paper's §III: the grid-processing and linear-processing
+kernel frameworks (literal tiled implementations for validation), the
+launch-record builders, and the metered engines that attach the
+simulated-GPU / CPU-baseline cost models to the functional pipeline.
+"""
+
+from .launches import (
+    CATEGORY,
+    EngineOptions,
+    category_of,
+    iter_decompose_launches,
+)
+from .autotune import TuneResult, autotune
+from .batch3d import SliceLaunch, SlicedLinearProcessor
+from .grid_processing import GridProcessingKernel, interpolation_thread_assignment
+from .linear_processing import LinearProcessingKernel
+from .metered import CPU_BASELINE_OPTIONS, CpuRefEngine, GpuSimEngine, MeteredEngine
+from .tiled_engine import TiledEngine
+
+__all__ = [
+    "CATEGORY",
+    "CPU_BASELINE_OPTIONS",
+    "GridProcessingKernel",
+    "LinearProcessingKernel",
+    "SliceLaunch",
+    "TuneResult",
+    "SlicedLinearProcessor",
+    "CpuRefEngine",
+    "EngineOptions",
+    "GpuSimEngine",
+    "MeteredEngine",
+    "TiledEngine",
+    "autotune",
+    "category_of",
+    "interpolation_thread_assignment",
+    "iter_decompose_launches",
+]

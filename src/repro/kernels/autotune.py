@@ -1,0 +1,73 @@
+"""Model-driven configuration tuning for the GPU design.
+
+The paper tunes its launch configurations by hand ("Although choosing
+large block sizes can reduce thread divergence, it may cause the total
+number of threads to exceed the maximum allowed on a streaming
+multiprocessor or make the SM underutilized", §III-A).  With the cost
+model in hand, that search can be automated: :func:`autotune` sweeps
+the discrete design space (stream count, linear-framework thread-block
+rows) and returns the configuration with the lowest modeled end-to-end
+time for a given (shape, device, operation).
+
+This is the simulated-substrate analogue of the autotuning literature
+the paper cites ([14], Basu et al.), applied to *its* design space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.grid import TensorHierarchy
+from ..gpu.analytic import model_pass
+from ..gpu.device import DeviceSpec, V100
+from .launches import EngineOptions
+
+__all__ = ["TuneResult", "autotune"]
+
+
+@dataclass
+class TuneResult:
+    """Outcome of one autotuning sweep."""
+
+    best: EngineOptions
+    best_seconds: float
+    baseline_seconds: float
+    evaluated: int
+    table: list[tuple[EngineOptions, float]]
+
+    @property
+    def gain(self) -> float:
+        """Speedup of the tuned configuration over the defaults."""
+        return self.baseline_seconds / self.best_seconds
+
+
+def autotune(
+    shape: tuple[int, ...],
+    device: DeviceSpec = V100,
+    operation: str = "decompose",
+    stream_choices: tuple[int, ...] = (1, 2, 4, 8, 16),
+    tpv_choices: tuple[int, ...] = (4, 8, 16, 32),
+) -> TuneResult:
+    """Exhaustively search the launch-configuration space via the model.
+
+    The space is tiny (tens of points) and each evaluation is a
+    shape-only walk, so the sweep costs milliseconds — which is exactly
+    the advantage of having a calibrated model over empirical tuning.
+    """
+    hier = TensorHierarchy.from_shape(shape)
+    baseline = model_pass(hier, device, EngineOptions(), operation).total_seconds
+    table = []
+    for streams in stream_choices:
+        for tpv in tpv_choices:
+            opts = EngineOptions(n_streams=streams, lpf_threads_per_vector=tpv)
+            t = model_pass(hier, device, opts, operation).total_seconds
+            table.append((opts, t))
+    table.sort(key=lambda item: item[1])
+    best, best_t = table[0]
+    return TuneResult(
+        best=best,
+        best_seconds=best_t,
+        baseline_seconds=baseline,
+        evaluated=len(table),
+        table=table,
+    )

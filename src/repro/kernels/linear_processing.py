@@ -1,0 +1,185 @@
+"""Linear-processing kernel framework (paper Fig. 5/6 + Algorithm 2).
+
+The three correction kernels (mass-matrix multiplication, transfer-matrix
+multiplication, correction solver) update every vector along one
+dimension with a neighbour-dependent stencil, *in place*.  The paper's
+framework balances parallelism and footprint by
+
+* batching vectors onto thread blocks (vector-wise outer parallelism);
+* walking each batch through the vector in fixed-size *segments* staged
+  in shared memory, so that updated values never pollute unread
+  neighbours; during the walk the data is partitioned into six regions
+  (Fig. 6): processed / main (shared mem) / ghost 1 (registers, the
+  last original values of the previous segment) / ghost 2 (shared mem,
+  the first original values after the main region) / prefetch
+  (registers) / unprocessed.
+
+This module executes that structure literally: a Python loop over
+segments with explicit ghost-region carries, calling per-kernel *device
+functions* (`_mass_segment`, Algorithm 2 up to the 1/6 normalization;
+`_transfer_segment`; the two Thomas sweeps for the solver).  Tests
+assert bit-equality with the vectorized fast paths in
+:mod:`repro.core`.  Like the tiled grid kernel this is the validation
+path; production uses the vectorized ops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.grid import LevelOps
+from ..core.solver import thomas_factor
+
+__all__ = ["LinearProcessingKernel"]
+
+
+class LinearProcessingKernel:
+    """Segment-pipelined in-place linear kernels along the last axis.
+
+    The caller is responsible for presenting the data with the
+    processing axis last (the framework's "always batch on the x-y /
+    x-z plane" rule means the real kernel does the same re-orientation
+    through its access functions).  All methods treat leading axes as
+    the vector batch.
+
+    Parameters
+    ----------
+    ops:
+        Per-(dimension, level) operator data.
+    segment:
+        Main-region length in elements (the shared-memory tile width).
+    """
+
+    def __init__(self, ops: LevelOps, segment: int = 8):
+        if segment < 2:
+            raise ValueError("segment length must be >= 2")
+        self.ops = ops
+        self.segment = segment
+
+    # ------------------------------------------------------------------
+    # mass-matrix multiplication (Algorithm 2)
+    # ------------------------------------------------------------------
+    def mass_multiply(self, v: np.ndarray) -> np.ndarray:
+        """In-place-style mass-matrix apply over segments; returns new array."""
+        m = v.shape[-1]
+        if m != self.ops.m_fine:
+            raise ValueError(f"axis length {m} != m_fine {self.ops.m_fine}")
+        if m == 1:
+            return v.copy()
+        h = self.ops.h_fine
+        out = v.copy()
+        seg = self.segment
+        # ghost1: original value of the element just before the segment
+        # (kept in "registers" because `out` may already be updated there)
+        for start in range(0, m, seg):
+            stop = min(start + seg, m)
+            main = v[..., start:stop]  # staged original values ("shared mem")
+            ghost1 = v[..., start - 1] if start > 0 else None
+            ghost2 = v[..., stop] if stop < m else None  # first unread value
+            out[..., start:stop] = self._mass_segment(main, ghost1, ghost2, start, stop, h)
+        return out
+
+    def _mass_segment(self, main, ghost1, ghost2, start, stop, h):
+        """Device function of Algorithm 2 on one staged segment.
+
+        Computes ``t = (h1*u[y-1] + 2*(h1+h2)*u[y] + h2*u[y+1]) / 6``
+        for interior rows and the one-sided boundary rows, reading
+        neighbours from the ghost regions at segment edges.
+        """
+        m = self.ops.m_fine
+        width = stop - start
+        t = np.empty_like(main)
+        for y_local in range(width):
+            y = start + y_local
+            left = (
+                main[..., y_local - 1]
+                if y_local > 0
+                else (ghost1 if ghost1 is not None else None)
+            )
+            right = (
+                main[..., y_local + 1]
+                if y_local + 1 < width
+                else (ghost2 if ghost2 is not None else None)
+            )
+            if y == 0:
+                t[..., y_local] = (2.0 * h[0] * main[..., y_local] + h[0] * right) / 6.0
+            elif y == m - 1:
+                t[..., y_local] = (h[-1] * left + 2.0 * h[-1] * main[..., y_local]) / 6.0
+            else:
+                h1, h2 = h[y - 1], h[y]
+                t[..., y_local] = (
+                    h1 * left + 2.0 * (h1 + h2) * main[..., y_local] + h2 * right
+                ) / 6.0
+        return t
+
+    # ------------------------------------------------------------------
+    # transfer-matrix multiplication (restriction)
+    # ------------------------------------------------------------------
+    def transfer_multiply(self, f: np.ndarray) -> np.ndarray:
+        """Segmented load-vector restriction; output has coarse length."""
+        m = f.shape[-1]
+        if m != self.ops.m_fine:
+            raise ValueError(f"axis length {m} != m_fine {self.ops.m_fine}")
+        ops = self.ops
+        mc = ops.m_coarse
+        out = np.empty(f.shape[:-1] + (mc,), dtype=f.dtype)
+        seg = self.segment
+        for start in range(0, mc, seg):
+            stop = min(start + seg, mc)
+            for j in range(start, stop):  # one coarse output per thread
+                p = ops.coarse_pos[j]
+                acc = f[..., p].copy()
+                # accumulate own-interval (left-weight) before the
+                # previous interval's right-weight contribution, matching
+                # the vectorized path's operation order bit-for-bit
+                if j < mc - 1 and ops.has_detail[j]:
+                    acc += ops.w_left[j] * f[..., ops.interval_detail[j]]
+                if j > 0 and ops.has_detail[j - 1]:
+                    acc += ops.w_right[j - 1] * f[..., ops.interval_detail[j - 1]]
+                out[..., j] = acc
+        return out
+
+    # ------------------------------------------------------------------
+    # correction solver (two dependent segment walks)
+    # ------------------------------------------------------------------
+    def solve(self, f: np.ndarray) -> np.ndarray:
+        """Segmented Thomas solve ``M_{l-1} z = f`` along the last axis.
+
+        The forward sweep walks segments left to right carrying the last
+        eliminated value in "registers" (ghost 1); the backward sweep
+        walks right to left carrying the last solved value.  Uses the
+        precomputed pivots of :func:`repro.core.solver.thomas_factor` —
+        the ``O(m)`` extra buffer the paper charges this kernel.
+        """
+        mc = f.shape[-1]
+        if mc != self.ops.m_coarse:
+            raise ValueError(f"axis length {mc} != m_coarse {self.ops.m_coarse}")
+        if mc == 1:
+            return f / self.ops.mass_bands_coarse[1, 0]
+        lower = self.ops.mass_bands_coarse[0, 1:]
+        cp, denom = thomas_factor(self.ops)
+        z = f.astype(np.float64, copy=True)
+        seg = self.segment
+        # forward elimination
+        carry = None  # ghost 1: z[i-1] of the previous segment
+        for start in range(0, mc, seg):
+            stop = min(start + seg, mc)
+            for i in range(start, stop):
+                if i == 0:
+                    z[..., 0] = z[..., 0] / denom[0]
+                else:
+                    prev = carry if i == start else z[..., i - 1]
+                    z[..., i] = (z[..., i] - lower[i - 1] * prev) / denom[i]
+            carry = z[..., stop - 1].copy()
+        # backward substitution
+        carry = None  # ghost 1 of the reverse walk: z[i+1]
+        starts = list(range(0, mc, seg))
+        for start in reversed(starts):
+            stop = min(start + seg, mc)
+            for i in range(stop - 1, start - 1, -1):
+                if i == mc - 1:
+                    continue
+                nxt = carry if i == stop - 1 else z[..., i + 1]
+                z[..., i] = z[..., i] - cp[i] * nxt
+            carry = z[..., start].copy()
+        return z

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test random generator."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+#: Shapes covering 1D/2D/3D, dyadic and non-dyadic, degenerate dims.
+ROUNDTRIP_SHAPES = [
+    (3,),
+    (17,),
+    (100,),
+    (2, 2),
+    (5, 5),
+    (33, 17),
+    (16, 7),
+    (1, 33),
+    (9, 9, 9),
+    (12, 5, 6),
+    (33, 5, 2),
+]
+
+
+@pytest.fixture(params=ROUNDTRIP_SHAPES, ids=lambda s: "x".join(map(str, s)))
+def any_shape(request) -> tuple[int, ...]:
+    return request.param
+
+
+def nonuniform_coords(shape: tuple[int, ...], rng: np.random.Generator):
+    """Random strictly-increasing coordinates per dimension."""
+    coords = []
+    for n in shape:
+        if n == 1:
+            coords.append(np.zeros(1))
+            continue
+        steps = rng.uniform(0.2, 1.8, size=n - 1)
+        x = np.concatenate([[0.0], np.cumsum(steps)])
+        coords.append(x / x[-1])
+    return tuple(coords)

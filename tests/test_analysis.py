@@ -1,0 +1,103 @@
+"""Tests for iso-surface/contour metrics and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.isosurface import contour_length, feature_accuracy, isosurface_area
+from repro.core.errors import l2, linf, psnr, rel_l2, rel_linf
+
+
+class TestIsosurface:
+    def _radial_3d(self, n=49):
+        ax = np.linspace(-1, 1, n)
+        X, Y, Z = np.meshgrid(ax, ax, ax, indexing="ij")
+        return np.sqrt(X**2 + Y**2 + Z**2), (ax, ax, ax)
+
+    def test_sphere_area(self):
+        f, coords = self._radial_3d()
+        for r in (0.4, 0.7):
+            area = isosurface_area(f, r, coords)
+            assert area == pytest.approx(4 * np.pi * r * r, rel=0.02)
+
+    def test_plane_area_exact(self):
+        n = 17
+        ax = np.linspace(0, 1, n)
+        f = np.broadcast_to(ax[:, None, None], (n, n, n)).copy()
+        area = isosurface_area(f, 0.5, (ax, ax, ax))
+        assert area == pytest.approx(1.0, rel=1e-10)
+
+    def test_empty_surface(self):
+        f, coords = self._radial_3d(17)
+        assert isosurface_area(f, 10.0, coords) == 0.0
+        assert isosurface_area(f, -1.0, coords) == 0.0
+
+    def test_area_stable_under_small_perturbation(self, rng):
+        f, coords = self._radial_3d(33)
+        base = isosurface_area(f, 0.6, coords)
+        noisy = isosurface_area(f + 1e-4 * rng.standard_normal(f.shape), 0.6, coords)
+        assert abs(noisy - base) / base < 0.02
+
+    def test_default_integer_coords(self):
+        n = 9
+        f = np.broadcast_to(np.arange(n, dtype=float)[:, None, None], (n, n, n)).copy()
+        # plane through an 8x8 cell domain: area (n-1)^2
+        assert isosurface_area(f, 4.5) == pytest.approx(64.0, rel=1e-9)
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            isosurface_area(np.zeros((4, 4)), 0.5)
+        with pytest.raises(ValueError):
+            contour_length(np.zeros((4, 4, 4)), 0.5)
+
+    def test_circle_length(self):
+        n = 65
+        ax = np.linspace(-1, 1, n)
+        X, Y = np.meshgrid(ax, ax, indexing="ij")
+        g = np.sqrt(X**2 + Y**2)
+        assert contour_length(g, 0.5, (ax, ax)) == pytest.approx(np.pi, rel=0.02)
+
+    def test_line_length_exact(self):
+        n = 17
+        ax = np.linspace(0, 1, n)
+        f = np.broadcast_to(ax[:, None], (n, n)).copy()
+        assert contour_length(f, 0.5, (ax, ax)) == pytest.approx(1.0, rel=1e-10)
+
+    def test_feature_accuracy(self):
+        assert feature_accuracy(95.0, 100.0) == pytest.approx(0.95)
+        assert feature_accuracy(100.0, 100.0) == 1.0
+        assert feature_accuracy(300.0, 100.0) == 0.0  # clamped
+        assert feature_accuracy(0.0, 0.0) == 1.0
+        assert feature_accuracy(1.0, 0.0) == 0.0
+
+
+class TestErrorMetrics:
+    def test_norms(self, rng):
+        a = rng.standard_normal(100)
+        b = rng.standard_normal(100)
+        assert linf(a, b) == np.abs(a - b).max()
+        assert l2(a, b) == pytest.approx(np.linalg.norm(a - b))
+        assert linf(np.zeros(0)) == 0.0
+
+    def test_relative_norms(self, rng):
+        exact = rng.standard_normal((10, 10)) * 5
+        approx = exact + 0.01
+        assert rel_linf(approx, exact) == pytest.approx(0.01 / (exact.max() - exact.min()))
+        assert rel_l2(approx, exact) < 0.01
+
+    def test_relative_norm_zero_cases(self):
+        z = np.zeros((3, 3))
+        assert rel_linf(z, z) == 0.0
+        assert rel_l2(z + 1, z) == np.inf
+
+    def test_psnr(self, rng):
+        exact = rng.random((32, 32))
+        assert psnr(exact, exact) == np.inf
+        noisy = exact + 1e-3 * rng.standard_normal((32, 32))
+        val = psnr(noisy, exact)
+        assert 40 < val < 80
+
+    def test_psnr_decreases_with_noise(self, rng):
+        exact = rng.random((32, 32))
+        small = psnr(exact + 1e-4 * rng.standard_normal((32, 32)), exact)
+        big = psnr(exact + 1e-2 * rng.standard_normal((32, 32)), exact)
+        assert small > big

@@ -1,0 +1,154 @@
+"""Tests for coefficient-class extraction, assembly, progressive recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.classes import (
+    CoefficientClasses,
+    assemble_from_classes,
+    class_sizes,
+    detail_mask,
+    extract_classes,
+    num_classes,
+    reconstruct_from_classes,
+)
+from repro.core.decompose import decompose
+from repro.core.grid import TensorHierarchy
+from repro.core.refactor import Refactorer
+from repro.workloads.synthetic import smooth
+
+
+class TestMasksAndSizes:
+    def test_detail_mask_counts(self):
+        h = TensorHierarchy.from_shape((9, 9))
+        m = detail_mask(h, h.L)
+        assert m.sum() == 81 - 25
+
+    def test_mask_false_exactly_at_coarse(self):
+        h = TensorHierarchy.from_shape((9,))
+        m = detail_mask(h, h.L)
+        np.testing.assert_array_equal(m, [False, True] * 4 + [False])
+
+    def test_class_sizes_sum_to_total(self, any_shape):
+        h = TensorHierarchy.from_shape(any_shape)
+        sizes = class_sizes(h)
+        assert len(sizes) == num_classes(h)
+        assert sum(sizes) == int(np.prod(any_shape))
+
+    def test_class_sizes_grow_geometrically_dyadic(self):
+        h = TensorHierarchy.from_shape((65, 65))
+        sizes = class_sizes(h)
+        # detail classes grow ~4x per level in 2D
+        for a, b in zip(sizes[1:-1], sizes[2:]):
+            assert 2.5 < b / a < 4.5
+
+    def test_mask_level_range(self):
+        h = TensorHierarchy.from_shape((9,))
+        with pytest.raises(ValueError):
+            detail_mask(h, 0)
+
+
+class TestExtractAssemble:
+    def test_roundtrip(self, rng, any_shape):
+        h = TensorHierarchy.from_shape(any_shape)
+        ref = decompose(rng.standard_normal(any_shape), h)
+        classes = extract_classes(ref, h)
+        back = assemble_from_classes(classes, h)
+        np.testing.assert_array_equal(back, ref)
+
+    def test_prefix_assembly_zero_fills(self, rng):
+        h = TensorHierarchy.from_shape((17, 17))
+        ref = decompose(rng.standard_normal((17, 17)), h)
+        classes = extract_classes(ref, h)
+        partial = assemble_from_classes(classes[:2], h)
+        # coarsest nodes present
+        mesh = np.ix_(*h.level_indices(0))
+        np.testing.assert_array_equal(partial[mesh], ref[mesh])
+        # finest details zero
+        assert np.count_nonzero(partial) <= sum(c.size for c in classes[:2])
+
+    def test_wrong_class_size_rejected(self, rng):
+        h = TensorHierarchy.from_shape((9, 9))
+        ref = decompose(rng.standard_normal((9, 9)), h)
+        classes = extract_classes(ref, h)
+        classes[1] = classes[1][:-1]
+        with pytest.raises(ValueError):
+            assemble_from_classes(classes, h)
+
+    def test_too_many_classes_rejected(self):
+        h = TensorHierarchy.from_shape((9,))
+        with pytest.raises(ValueError):
+            assemble_from_classes([np.zeros(2)] * 10, h)
+
+    def test_none_classes_treated_as_zero(self, rng):
+        h = TensorHierarchy.from_shape((9, 9))
+        ref = decompose(rng.standard_normal((9, 9)), h)
+        classes = extract_classes(ref, h)
+        with_none = [classes[0], None, classes[2]]
+        out = assemble_from_classes(with_none, h)
+        zeroed = [classes[0], np.zeros_like(classes[1]), classes[2]]
+        np.testing.assert_array_equal(out, assemble_from_classes(zeroed, h))
+
+
+class TestProgressive:
+    def test_full_prefix_is_lossless(self, rng, any_shape):
+        r = Refactorer(any_shape)
+        data = rng.standard_normal(any_shape)
+        cc = r.refactor(data)
+        np.testing.assert_allclose(cc.reconstruct(), data, atol=1e-9)
+
+    def test_error_monotone_for_smooth_data(self):
+        shape = (65, 65)
+        data = smooth(shape)
+        cc = Refactorer(shape).refactor(data)
+        errs = [
+            np.abs(cc.reconstruct(k) - data).max() for k in range(1, cc.n_classes + 1)
+        ]
+        # broadly decreasing (small transients allowed at coarse prefixes
+        # where L-inf error of partial interpolants can wobble)...
+        for a, b in zip(errs[:-1], errs[1:]):
+            assert b <= a * 1.7
+        # ...and strongly decreasing overall
+        assert errs[-2] < errs[0] / 20
+        assert errs[-1] < 1e-9
+
+    def test_error_decays_fast_for_smooth_data(self):
+        shape = (129,)
+        x = np.linspace(0, 1, 129)
+        data = np.sin(2 * np.pi * x)
+        cc = Refactorer(shape).refactor(data)
+        errs = [np.abs(cc.reconstruct(k) - data).max() for k in range(1, cc.n_classes)]
+        # O(h^2): each added class should cut the error by ~4 once resolved
+        ratios = [b / a for a, b in zip(errs[2:-1], errs[3:])]
+        assert np.median(ratios) < 0.35
+
+    def test_k_validation(self, rng):
+        cc = Refactorer((9, 9)).refactor(rng.standard_normal((9, 9)))
+        with pytest.raises(ValueError):
+            cc.reconstruct(0)
+        with pytest.raises(ValueError):
+            cc.reconstruct(cc.n_classes + 1)
+
+    def test_reconstruct_from_classes_function(self, rng):
+        h = TensorHierarchy.from_shape((17,))
+        data = rng.standard_normal(17)
+        classes = extract_classes(decompose(data, h), h)
+        np.testing.assert_allclose(reconstruct_from_classes(classes, h), data, atol=1e-10)
+
+
+class TestCoefficientClassesContainer:
+    def test_validates_sizes(self):
+        h = TensorHierarchy.from_shape((9,))
+        with pytest.raises(ValueError):
+            CoefficientClasses(h, [np.zeros(3)])
+        with pytest.raises(ValueError):
+            CoefficientClasses(h, [np.zeros(2), np.zeros(1), np.zeros(4), np.zeros(9)])
+
+    def test_nbytes_and_cumulative(self, rng):
+        cc = Refactorer((17, 17)).refactor(rng.standard_normal((17, 17)))
+        total = cc.nbytes()
+        assert total == 17 * 17 * 8
+        cum = cc.cumulative_bytes()
+        assert cum[-1] == total
+        assert all(a < b for a, b in zip(cum[:-1], cum[1:]))
+        assert cc.nbytes(0) == cc.classes[0].nbytes

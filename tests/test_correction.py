@@ -1,0 +1,109 @@
+"""Tests for the global-correction computation against dense linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.core.coefficients import compute_coefficients
+from repro.core.correction import compute_correction
+from repro.core.grid import TensorHierarchy
+from repro.core.mass import dense_mass_matrix
+from repro.core.transfer import dense_transfer_matrix
+
+from conftest import nonuniform_coords
+
+
+def _dense_correction(hier, l, c):
+    """z = M_{l-1}^{-1} (⊗R)(⊗M) vec(c) built from dense Kronecker products."""
+    Ms, Rs, Mcs = [], [], []
+    for k in range(hier.ndim):
+        if hier.coarsens(l, k):
+            ops = hier.level_ops(l, k)
+            Ms.append(dense_mass_matrix(ops.x_fine))
+            Rs.append(dense_transfer_matrix(ops))
+            Mcs.append(dense_mass_matrix(ops.x_coarse))
+        else:
+            n = hier.level_shape(l)[k]
+            Ms.append(np.eye(n))
+            Rs.append(np.eye(n))
+            Mcs.append(np.eye(n))
+    def kron_all(mats):
+        out = mats[0]
+        for m in mats[1:]:
+            out = np.kron(out, m)
+        return out
+    big_M, big_R, big_Mc = kron_all(Ms), kron_all(Rs), kron_all(Mcs)
+    z = np.linalg.solve(big_Mc, big_R @ big_M @ c.ravel())
+    return z.reshape(hier.level_shape(l - 1))
+
+
+@pytest.mark.parametrize("shape", [(9,), (5, 5), (9, 5), (5, 5, 5), (7, 6), (3, 9, 4)])
+def test_matches_dense_kronecker(shape, rng):
+    h = TensorHierarchy.from_shape(shape)
+    v = rng.standard_normal(shape)
+    c = compute_coefficients(v, h, h.L)
+    z = compute_correction(c, h, h.L)
+    np.testing.assert_allclose(z, _dense_correction(h, h.L, c), rtol=1e-9, atol=1e-12)
+
+
+def test_matches_dense_nonuniform(rng):
+    shape = (9, 9)
+    coords = nonuniform_coords(shape, rng)
+    h = TensorHierarchy.from_shape(shape, coords)
+    v = rng.standard_normal(shape)
+    c = compute_coefficients(v, h, h.L)
+    np.testing.assert_allclose(
+        compute_correction(c, h, h.L), _dense_correction(h, h.L, c), rtol=1e-9
+    )
+
+
+def test_all_levels(rng):
+    h = TensorHierarchy.from_shape((17, 9))
+    for l in range(h.L, 0, -1):
+        c = rng.standard_normal(h.level_shape(l))
+        from repro.core.coefficients import zero_coarse_entries
+
+        zero_coarse_entries(c, h, l)
+        z = compute_correction(c, h, l)
+        assert z.shape == h.level_shape(l - 1)
+        np.testing.assert_allclose(z, _dense_correction(h, l, c), rtol=1e-9, atol=1e-12)
+
+
+def test_correction_is_linear(rng):
+    h = TensorHierarchy.from_shape((9, 9))
+    c1 = rng.standard_normal((9, 9))
+    c2 = rng.standard_normal((9, 9))
+    z1 = compute_correction(c1, h, h.L)
+    z2 = compute_correction(c2, h, h.L)
+    z = compute_correction(2.0 * c1 - 3.0 * c2, h, h.L)
+    np.testing.assert_allclose(z, 2.0 * z1 - 3.0 * z2, rtol=1e-9, atol=1e-12)
+
+
+def test_zero_coefficients_give_zero_correction(rng):
+    h = TensorHierarchy.from_shape((17, 17))
+    z = compute_correction(np.zeros((17, 17)), h, h.L)
+    np.testing.assert_array_equal(z, np.zeros(h.level_shape(h.L - 1)))
+
+
+def test_correction_is_l2_projection_of_detail(rng):
+    # Eq. (2): M_{l-1} z = R M c means z is the L2 projection of the
+    # piecewise-linear function with nodal values c onto V_{l-1}; verify
+    # the Galerkin orthogonality <c - z, phi_coarse> = 0 in 1D.
+    h = TensorHierarchy.from_shape((17,))
+    ops = h.level_ops(h.L, 0)
+    v = rng.standard_normal(17)
+    c = compute_coefficients(v, h, h.L)
+    z = compute_correction(c, h, h.L)
+    # residual load on coarse basis: R M c - M_c z = 0
+    from repro.core.mass import mass_apply, mass_apply_coarse
+    from repro.core.transfer import transfer_apply
+
+    load = transfer_apply(mass_apply(c, ops.h_fine), ops)
+    np.testing.assert_allclose(load, mass_apply_coarse(z, ops.h_coarse), rtol=1e-9)
+
+
+def test_level_validation(rng):
+    h = TensorHierarchy.from_shape((9,))
+    with pytest.raises(ValueError):
+        compute_correction(np.zeros(9), h, 0)
+    with pytest.raises(ValueError):
+        compute_correction(np.zeros(5), h, h.L)  # wrong shape

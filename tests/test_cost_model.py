@@ -1,0 +1,123 @@
+"""Tests for the GPU/CPU cost model: the monotonicities that carry the paper."""
+
+import dataclasses
+
+import pytest
+
+from repro.gpu.cost import KernelLaunch, cpu_kernel_time, gpu_kernel_time
+from repro.gpu.device import I7_9700K_CORE, POWER9_CORE, RTX2080TI, V100
+
+
+def _rec(**kw) -> KernelLaunch:
+    base = dict(
+        name="mass",
+        kind="linear",
+        elements=1 << 20,
+        bytes_read=8 << 20,
+        bytes_written=8 << 20,
+        threads=1 << 20,
+    )
+    base.update(kw)
+    return KernelLaunch(**base)
+
+
+class TestGpuModel:
+    def test_stride_collapses_throughput(self):
+        times = [gpu_kernel_time(_rec(stride=s), V100) for s in (1, 4, 32, 256)]
+        assert times[0] == times[1] <= times[2] < times[3]
+        # beyond the 32-byte sector, each doubling of stride doubles time
+        t32 = gpu_kernel_time(_rec(stride=32), V100)
+        t64 = gpu_kernel_time(_rec(stride=64), V100)
+        assert t64 / t32 == pytest.approx(2.0, rel=0.05)
+
+    def test_occupancy_penalizes_small_kernels(self):
+        rich = gpu_kernel_time(_rec(threads=1 << 20), V100)
+        poor = gpu_kernel_time(_rec(threads=256), V100)
+        assert poor > rich
+
+    def test_divergence_multiplier(self):
+        t1 = gpu_kernel_time(_rec(divergence=1.0), V100)
+        t3 = gpu_kernel_time(_rec(divergence=3.0), V100)
+        assert t3 > 2.0 * t1 * 0.9
+
+    def test_streams_amortize_launches(self):
+        many = _rec(n_launches=64, n_streams=1)
+        overlapped = _rec(n_launches=64, n_streams=8)
+        assert gpu_kernel_time(overlapped, V100) < gpu_kernel_time(many, V100)
+
+    def test_stream_cap(self):
+        a = _rec(n_launches=64, n_streams=8)
+        b = _rec(n_launches=64, n_streams=64)
+        # V100 model caps concurrency at 8 kernels
+        assert gpu_kernel_time(a, V100) == gpu_kernel_time(b, V100)
+
+    def test_chain_latency_floor(self):
+        short = gpu_kernel_time(_rec(threads=64, bytes_read=8, bytes_written=8), V100)
+        chained = gpu_kernel_time(
+            _rec(threads=64, bytes_read=8, bytes_written=8, chain_length=100000), V100
+        )
+        assert chained > short
+
+    def test_faster_device_is_faster(self):
+        r = _rec()
+        assert gpu_kernel_time(r, V100) < gpu_kernel_time(r, RTX2080TI)
+
+    def test_launch_overhead_floor(self):
+        tiny = _rec(elements=1, bytes_read=8, bytes_written=8, threads=1)
+        assert gpu_kernel_time(tiny, V100) >= V100.launch_overhead_us * 1e-6
+
+    def test_occupancy_cap_binds(self):
+        free = gpu_kernel_time(_rec(occupancy_cap=1.0), V100)
+        capped = gpu_kernel_time(_rec(occupancy_cap=0.2), V100)
+        assert capped > free
+
+
+class TestCpuModel:
+    def test_stride_latency_penalty(self):
+        fast = cpu_kernel_time(_rec(stride=1), POWER9_CORE)
+        slow = cpu_kernel_time(_rec(stride=64), POWER9_CORE)
+        assert slow > 2 * fast
+
+    def test_stride_penalty_saturates_at_cacheline(self):
+        a = cpu_kernel_time(_rec(stride=16), POWER9_CORE)
+        b = cpu_kernel_time(_rec(stride=4096), POWER9_CORE)
+        assert a == b  # every access already misses
+
+    def test_element_cost_scales(self):
+        a = cpu_kernel_time(_rec(cpu_scale=1.0), POWER9_CORE)
+        b = cpu_kernel_time(_rec(cpu_scale=2.0), POWER9_CORE)
+        assert b == pytest.approx(2 * a)
+
+    def test_desktop_core_faster_than_power9(self):
+        r = _rec()
+        assert cpu_kernel_time(r, I7_9700K_CORE) < cpu_kernel_time(r, POWER9_CORE)
+
+    def test_stream_bandwidth_floor(self):
+        # huge bytes with trivial element count: bandwidth-bound branch
+        r = _rec(elements=1, bytes_read=1 << 30, bytes_written=0)
+        t = cpu_kernel_time(r, POWER9_CORE)
+        expect = (1 << 30) / (POWER9_CORE.stream_bandwidth_gbps * 1e9)
+        assert t == pytest.approx(expect)
+
+
+class TestDeviceSpecs:
+    def test_effective_bandwidth(self):
+        assert V100.effective_bandwidth == pytest.approx(900e9 * 0.82)
+
+    def test_sector_elems(self):
+        assert V100.sector_elems(8) == 4.0
+        assert V100.sector_elems(64) == 1.0  # floors at one element
+
+    def test_saturating_warps(self):
+        assert V100.saturating_warps == 80 * 8
+
+    def test_specs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            V100.sm_count = 1
+
+    def test_paper_speedup_ordering_reproduced(self):
+        """Summit pairing (slow CPU core + fast GPU) must out-speedup desktop."""
+        r = _rec()
+        summit = cpu_kernel_time(r, POWER9_CORE) / gpu_kernel_time(r, V100)
+        desktop = cpu_kernel_time(r, I7_9700K_CORE) / gpu_kernel_time(r, RTX2080TI)
+        assert summit > desktop > 1

@@ -1,0 +1,192 @@
+"""Tests for the grid hierarchies (repro.core.grid)."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import (
+    Hierarchy1D,
+    TensorHierarchy,
+    dyadic_size,
+    num_levels_for_size,
+)
+
+
+class TestSizes:
+    def test_dyadic_size(self):
+        assert [dyadic_size(L) for L in range(5)] == [2, 3, 5, 9, 17]
+
+    def test_dyadic_size_rejects_negative(self):
+        with pytest.raises(ValueError):
+            dyadic_size(-1)
+
+    @pytest.mark.parametrize("n,L", [(1, 0), (2, 0), (3, 1), (5, 2), (9, 3), (17, 4), (513, 9)])
+    def test_num_levels_dyadic(self, n, L):
+        assert num_levels_for_size(n) == L
+
+    @pytest.mark.parametrize("n", [4, 6, 7, 10, 100, 1000])
+    def test_num_levels_nondyadic_reaches_two(self, n):
+        L = num_levels_for_size(n)
+        size = n
+        for _ in range(L):
+            size = size // 2 + 1
+        assert size == 2
+
+    def test_num_levels_rejects_zero(self):
+        with pytest.raises(ValueError):
+            num_levels_for_size(0)
+
+
+class TestHierarchy1D:
+    def test_uniform_default_coords(self):
+        h = Hierarchy1D(size=9)
+        assert h.n == 9
+        assert h.L == 3
+        np.testing.assert_allclose(h.coords, np.linspace(0, 1, 9))
+
+    def test_dyadic_index_sets_are_strided(self):
+        h = Hierarchy1D(size=17)
+        for l in range(h.L + 1):
+            idx = h.index(l)
+            stride = 2 ** (h.L - l)
+            np.testing.assert_array_equal(idx, np.arange(0, 17, stride))
+
+    def test_nesting(self):
+        h = Hierarchy1D(size=100)
+        for l in range(1, h.L + 1):
+            coarse = set(h.index(l - 1).tolist())
+            fine = set(h.index(l).tolist())
+            assert coarse < fine
+
+    def test_boundaries_always_present(self):
+        h = Hierarchy1D(size=100)
+        for l in range(h.L + 1):
+            idx = h.index(l)
+            assert idx[0] == 0
+            assert idx[-1] == 99
+
+    def test_nonuniform_coords_propagate(self):
+        x = np.array([0.0, 0.1, 0.15, 0.4, 0.9])
+        h = Hierarchy1D(x)
+        np.testing.assert_array_equal(h.level_coords(h.L), x)
+        np.testing.assert_array_equal(h.level_coords(0), x[[0, 4]])
+
+    def test_rejects_decreasing_coords(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Hierarchy1D(np.array([0.0, 0.5, 0.5, 1.0]))
+
+    def test_rejects_2d_coords(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Hierarchy1D(np.zeros((3, 3)))
+
+    def test_requires_coords_or_size(self):
+        with pytest.raises(ValueError):
+            Hierarchy1D()
+
+    def test_rejects_size_zero(self):
+        with pytest.raises(ValueError):
+            Hierarchy1D(size=0)
+
+    def test_level_out_of_range(self):
+        h = Hierarchy1D(size=9)
+        with pytest.raises(ValueError):
+            h.index(h.L + 1)
+        with pytest.raises(ValueError):
+            h.index(-1)
+
+    def test_ops_range(self):
+        h = Hierarchy1D(size=9)
+        with pytest.raises(ValueError):
+            h.ops(0)
+        with pytest.raises(ValueError):
+            h.ops(h.L + 1)
+
+    def test_ops_consistency(self):
+        h = Hierarchy1D(size=33)
+        for l in range(1, h.L + 1):
+            ops = h.ops(l)
+            assert ops.m_fine == h.size(l)
+            assert ops.m_coarse == h.size(l - 1)
+            assert ops.m_detail == ops.m_fine - ops.m_coarse
+            # coarse positions must be sorted and unique
+            assert np.all(np.diff(ops.coarse_pos) > 0)
+
+    def test_interpolation_weights_sum_to_one(self):
+        h = Hierarchy1D(np.sort(np.random.default_rng(1).uniform(size=33)))
+        for l in range(1, h.L + 1):
+            ops = h.ops(l)
+            w = ops.w_left + ops.w_right
+            np.testing.assert_allclose(w[ops.has_detail], 1.0)
+
+    @pytest.mark.parametrize("n", [6, 10, 12, 20])
+    def test_even_sizes_keep_last_node(self, n):
+        h = Hierarchy1D(size=n)
+        assert h.index(h.L - 1)[-1] == n - 1
+
+
+class TestTensorHierarchy:
+    def test_from_shape_basic(self):
+        h = TensorHierarchy.from_shape((17, 9))
+        assert h.shape == (17, 9)
+        assert h.L == 4  # max(4, 3)
+
+    def test_mixed_depth_levels(self):
+        h = TensorHierarchy.from_shape((17, 5))
+        # dim 1 (L=2) only coarsens at the last two global levels
+        assert h.dim_level(4, 0) == 4 and h.dim_level(4, 1) == 2
+        assert h.dim_level(2, 1) == 0
+        assert not h.coarsens(2, 1)
+        assert h.coarsens(4, 1)
+
+    def test_level_shapes_monotone(self):
+        h = TensorHierarchy.from_shape((33, 17, 9))
+        prev = None
+        for l in range(h.L + 1):
+            s = h.level_shape(l)
+            if prev is not None:
+                assert all(a <= b for a, b in zip(prev, s))
+            prev = s
+        assert h.level_shape(h.L) == (33, 17, 9)
+
+    def test_level_stride_dyadic(self):
+        h = TensorHierarchy.from_shape((17, 17))
+        for l in range(h.L + 1):
+            assert h.level_stride(l, 0) == 2 ** (h.L - l)
+
+    def test_num_nodes_and_detail_count(self):
+        h = TensorHierarchy.from_shape((5, 5))
+        assert h.num_nodes(h.L) == 25
+        assert h.num_nodes(h.L - 1) == 9
+        assert h.detail_count(h.L) == 16
+
+    def test_detail_count_range(self):
+        h = TensorHierarchy.from_shape((5, 5))
+        with pytest.raises(ValueError):
+            h.detail_count(0)
+
+    def test_coarsening_dims_skips_singletons(self):
+        h = TensorHierarchy.from_shape((17, 1))
+        assert h.coarsening_dims(h.L) == (0,)
+
+    def test_validate_array(self):
+        h = TensorHierarchy.from_shape((5, 5))
+        with pytest.raises(ValueError, match="does not match"):
+            h.validate_array(np.zeros((5, 4)))
+        out = h.validate_array(np.zeros((5, 5), dtype=np.int32))
+        assert np.issubdtype(out.dtype, np.floating)
+
+    def test_coords_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorHierarchy.from_shape((5,), coords=(np.linspace(0, 1, 4),))
+
+    def test_coords_tuple_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TensorHierarchy.from_shape((5, 5), coords=(None,))
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            TensorHierarchy.from_shape(())
+
+    def test_level_ops_requires_coarsening(self):
+        h = TensorHierarchy.from_shape((17, 5))
+        with pytest.raises(ValueError):
+            h.level_ops(2, 1)  # dim 1 does not coarsen at level 2

@@ -1,0 +1,150 @@
+"""Tests for launch-record builders and the Algorithm-3 walk."""
+
+import numpy as np
+import pytest
+
+from repro.core.decompose import decompose, recompose
+from repro.core.grid import TensorHierarchy
+from repro.kernels import launches as L
+from repro.kernels.metered import CPU_BASELINE_OPTIONS, CpuRefEngine, GpuSimEngine
+
+
+class TestEngineOptions:
+    def test_defaults(self):
+        o = L.EngineOptions()
+        assert o.framework == "lpf" and o.pack_nodes and o.divergence_free
+
+    def test_invalid_framework(self):
+        with pytest.raises(ValueError):
+            L.EngineOptions(framework="magic")
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValueError):
+            L.EngineOptions(n_streams=0)
+
+
+class TestBuilders:
+    def test_coefficients_divergence_flag(self):
+        a = L.coefficients_launch((9, 9), opts=L.EngineOptions(), level=1, stride=4)
+        b = L.coefficients_launch(
+            (9, 9), opts=L.EngineOptions(divergence_free=False), level=1, stride=4
+        )
+        assert a.divergence == 1.0 and b.divergence > 1.0
+
+    def test_coefficients_3d_occupancy_cap(self):
+        a = L.coefficients_launch((9, 9, 9), opts=L.EngineOptions(), level=1, stride=1)
+        b = L.coefficients_launch((9, 9), opts=L.EngineOptions(), level=1, stride=1)
+        assert a.occupancy_cap < b.occupancy_cap == 1.0
+
+    def test_packing_removes_stride(self):
+        packed = L.mass_launch((9, 9), 0, opts=L.EngineOptions(), level=1, stride=16)
+        strided = L.mass_launch(
+            (9, 9), 0, opts=L.EngineOptions(pack_nodes=False), level=1, stride=16
+        )
+        assert packed.stride == 1 and strided.stride == 16
+
+    def test_naive_is_vector_wise(self):
+        o = L.EngineOptions(framework="naive", pack_nodes=False)
+        rec = L.mass_launch((64, 128), 1, opts=o, level=1, stride=2)
+        assert rec.threads == 64  # one thread per vector
+        assert rec.n_launches == 1
+
+    def test_lpf_3d_slices(self):
+        rec = L.mass_launch((65, 33, 17), 0, opts=L.EngineOptions(), level=1, stride=1)
+        # plane = axis0 x largest other (33); slices along the remaining (17)
+        assert rec.n_launches == 17
+
+    def test_transfer_output_bytes_shrink(self):
+        rec = L.transfer_launch((17, 17), 0, 9, opts=L.EngineOptions(), level=1, stride=1)
+        assert rec.bytes_written < rec.bytes_read
+
+    def test_solve_chain_length(self):
+        rec = L.solve_launch((9, 17), 0, opts=L.EngineOptions(), level=1, stride=1)
+        assert rec.chain_length == 18
+        assert rec.threads == 17  # one per vector
+
+    def test_solve_elementwise_pcr(self):
+        rec = L.solve_launch(
+            (9, 17), 0, opts=L.EngineOptions(framework="elementwise"), level=1, stride=1
+        )
+        assert rec.threads == 9 * 17
+        assert rec.chain_length < 18  # log depth
+
+    def test_category_mapping_total(self):
+        h = TensorHierarchy.from_shape((17, 17))
+        cats = {
+            L.category_of(r)
+            for r in L.iter_decompose_launches(h, L.EngineOptions(), "decompose")
+        }
+        assert cats == {"CC", "MM", "TM", "SC", "MC", "PN"}
+
+
+class TestWalkMatchesEngines:
+    @pytest.mark.parametrize("shape", [(33, 17), (9, 9, 9), (65,), (16, 7)])
+    @pytest.mark.parametrize("operation", ["decompose", "recompose"])
+    def test_gpu_engine_records_equal_walk(self, shape, operation, rng):
+        h = TensorHierarchy.from_shape(shape)
+        eng = GpuSimEngine()
+        data = rng.standard_normal(shape)
+        if operation == "decompose":
+            decompose(data, h, eng)
+        else:
+            recompose(decompose(data, h), h, eng)
+            # drop the decompose records: re-run cleanly
+            eng.reset()
+            recompose(decompose(data, h), h, eng)
+        walk = list(L.iter_decompose_launches(h, eng.opts, operation))
+        assert walk == eng.records
+
+    def test_cpu_engine_records_equal_walk(self, rng):
+        h = TensorHierarchy.from_shape((33, 17))
+        eng = CpuRefEngine()
+        decompose(rng.standard_normal((33, 17)), h, eng)
+        walk = list(L.iter_decompose_launches(h, CPU_BASELINE_OPTIONS, "decompose"))
+        assert walk == eng.records
+
+    def test_walk_rejects_unknown_operation(self):
+        h = TensorHierarchy.from_shape((9,))
+        with pytest.raises(ValueError):
+            list(L.iter_decompose_launches(h, L.EngineOptions(), "transmogrify"))
+
+    def test_trivial_hierarchy_single_copy(self):
+        h = TensorHierarchy.from_shape((2, 2))
+        recs = list(L.iter_decompose_launches(h, L.EngineOptions(), "decompose"))
+        assert len(recs) == 1 and recs[0].name == "copy"
+
+
+class TestMeteredEngineBookkeeping:
+    def test_clock_accumulates_and_resets(self, rng):
+        eng = GpuSimEngine()
+        decompose(rng.standard_normal((33, 33)), engine=eng)
+        assert eng.clock > 0
+        assert abs(sum(eng.record_times) - eng.clock) < 1e-12
+        report = eng.report()
+        assert abs(report["total"] - eng.clock) < 1e-12
+        eng.reset()
+        assert eng.clock == 0 and not eng.records
+
+    def test_cpu_report_folds_pn_into_mc(self, rng):
+        eng = CpuRefEngine()
+        decompose(rng.standard_normal((33, 33)), engine=eng)
+        report = eng.report()
+        assert "PN" not in report
+        assert report["MC"] > 0
+
+    def test_gpu_oom_guard(self):
+        from repro.gpu.device import V100
+
+        eng = GpuSimEngine(V100)
+        big = TensorHierarchy.from_shape((50000, 50000))  # 20 GB > 16 GB
+        with pytest.raises(MemoryError):
+            eng.begin("decompose", big)
+
+    def test_footprint_accessor(self, rng):
+        eng = GpuSimEngine()
+        decompose(rng.standard_normal((33, 33)), engine=eng)
+        fp = eng.footprint()
+        assert fp.solver_bytes == 2 * (33 + 33) * 8
+        eng2 = GpuSimEngine()
+        with pytest.raises(ValueError):
+            eng2.footprint()

@@ -1,0 +1,75 @@
+"""Tests for the data-lifecycle simulation (the intro's 90-day story)."""
+
+import pytest
+
+from repro.core.classes import num_classes
+from repro.core.grid import TensorHierarchy
+from repro.io.lifecycle import (
+    AnalysisRequest,
+    simulate_lifecycle,
+    typical_request_trace,
+)
+
+SHAPE = (129, 129, 129)
+N_CLASSES = num_classes(TensorHierarchy.from_shape(SHAPE))
+
+
+class TestTrace:
+    def test_trace_shape(self):
+        trace = typical_request_trace(5, 100, N_CLASSES)
+        assert len(trace) == 100
+        assert all(1 <= r.classes_needed <= N_CLASSES for r in trace)
+        assert all(0 <= r.dataset < 5 for r in trace)
+
+    def test_coarse_bias(self):
+        trace = typical_request_trace(5, 500, N_CLASSES, coarse_bias=3.0)
+        coarse = sum(1 for r in trace if r.classes_needed <= N_CLASSES // 2)
+        assert coarse > 350  # most analyses are coarse
+
+    def test_deterministic(self):
+        a = typical_request_trace(3, 50, N_CLASSES, seed=1)
+        b = typical_request_trace(3, 50, N_CLASSES, seed=1)
+        assert a == b
+
+
+class TestSimulation:
+    def test_refactoring_aware_wins(self):
+        trace = typical_request_trace(8, 150, N_CLASSES)
+        out = simulate_lifecycle(SHAPE, trace, keep_fraction=0.02)
+        base = out["baseline"]
+        aware = out["refactoring-aware"]
+        assert aware.total_seconds < 0.3 * base.total_seconds
+        assert aware.archive_hits < base.archive_hits
+        assert aware.pfs_only_fraction > 0.5
+
+    def test_baseline_always_hits_archive(self):
+        trace = typical_request_trace(2, 20, N_CLASSES)
+        out = simulate_lifecycle(SHAPE, trace)
+        assert out["baseline"].archive_hits == 20
+        assert out["baseline"].pfs_only_fraction == 0.0
+
+    def test_full_accuracy_requests_still_pay(self):
+        trace = [AnalysisRequest(dataset=0, classes_needed=N_CLASSES)] * 5
+        out = simulate_lifecycle(SHAPE, trace, keep_fraction=0.02)
+        assert out["refactoring-aware"].archive_hits == 5
+
+    def test_bigger_hot_budget_helps(self):
+        trace = typical_request_trace(4, 100, N_CLASSES)
+        small = simulate_lifecycle(SHAPE, trace, keep_fraction=0.005)
+        big = simulate_lifecycle(SHAPE, trace, keep_fraction=0.3)
+        assert (
+            big["refactoring-aware"].pfs_only_requests
+            >= small["refactoring-aware"].pfs_only_requests
+        )
+        assert (
+            big["refactoring-aware"].total_seconds
+            <= small["refactoring-aware"].total_seconds
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_lifecycle(SHAPE, [], keep_fraction=0.0)
+        with pytest.raises(ValueError):
+            simulate_lifecycle(
+                SHAPE, [AnalysisRequest(dataset=0, classes_needed=99)]
+            )

@@ -1,0 +1,156 @@
+"""Tests for derived-quantity (QoI) error control."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import TensorHierarchy
+from repro.core.qoi import QoIAnalyzer, mean_functional, region_average
+from repro.core.refactor import Refactorer
+from repro.compress.quantizer import Quantizer
+from repro.workloads.synthetic import multiscale, smooth
+
+
+@pytest.fixture(scope="module")
+def setup():
+    shape = (17, 17)
+    hier = TensorHierarchy.from_shape(shape)
+    analyzer = QoIAnalyzer(hier, mean_functional(shape))
+    return shape, hier, analyzer
+
+
+class TestFunctionals:
+    def test_mean_weights(self):
+        w = mean_functional((4, 5))
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_region_average(self):
+        w = region_average((8, 8), (slice(0, 4), slice(0, 4)))
+        assert w.sum() == pytest.approx(1.0)
+        assert (w[4:, :] == 0).all()
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(ValueError):
+            region_average((8, 8), (slice(0, 0), slice(None)))
+
+    def test_weights_shape_checked(self):
+        hier = TensorHierarchy.from_shape((9, 9))
+        with pytest.raises(ValueError):
+            QoIAnalyzer(hier, np.ones((8, 9)))
+
+
+class TestSensitivities:
+    def test_evaluate_from_classes_exact(self, setup, rng):
+        shape, hier, analyzer = setup
+        data = rng.standard_normal(shape)
+        cc = Refactorer(shape).refactor(data)
+        # full prefix reproduces Q(data) exactly (linearity)
+        assert analyzer.evaluate_from_classes(cc) == pytest.approx(
+            analyzer.evaluate(data), rel=1e-9
+        )
+
+    def test_truncation_error_is_exact(self, setup, rng):
+        shape, hier, analyzer = setup
+        data = multiscale(shape)
+        cc = Refactorer(shape).refactor(data)
+        q_exact = analyzer.evaluate(data)
+        for k in (1, 2, cc.n_classes - 1):
+            q_trunc = analyzer.evaluate(cc.reconstruct(k))
+            predicted = analyzer.truncation_error(cc, k)
+            assert predicted == pytest.approx(abs(q_exact - q_trunc), abs=1e-10)
+
+    def test_quantization_bound_holds(self, setup):
+        shape, hier, analyzer = setup
+        data = smooth(shape)
+        cc = Refactorer(shape).refactor(data)
+        q = Quantizer(1e-2)
+        qc = q.quantize(cc)
+        back = q.dequantize(qc, cc)
+        actual = abs(analyzer.evaluate(back.reconstruct()) - analyzer.evaluate(data))
+        bound = analyzer.quantization_bound(qc.steps)
+        assert actual <= bound + 1e-12
+
+    def test_classes_for_qoi_tolerance(self, setup):
+        shape, hier, analyzer = setup
+        cc = Refactorer(shape).refactor(multiscale(shape))
+        for tol in (1e-1, 1e-4, 0.0):
+            k = analyzer.classes_for_qoi_tolerance(cc, tol)
+            assert analyzer.truncation_error(cc, k) <= tol + 1e-15
+        with pytest.raises(ValueError):
+            analyzer.classes_for_qoi_tolerance(cc, -1.0)
+
+    def test_localized_functional_needs_fine_classes_less(self, rng):
+        """A broad average is dominated by coarse classes; its truncation
+        error at k=1 should be far below the field's own error."""
+        shape = (17, 17)
+        hier = TensorHierarchy.from_shape(shape)
+        analyzer = QoIAnalyzer(hier, mean_functional(shape))
+        data = smooth(shape)
+        cc = Refactorer(shape).refactor(data)
+        q_err = analyzer.truncation_error(cc, 1)
+        field_err = float(np.abs(cc.reconstruct(1) - data).max())
+        assert q_err < 0.25 * field_err
+
+    def test_k_validation(self, setup, rng):
+        shape, hier, analyzer = setup
+        cc = Refactorer(shape).refactor(rng.standard_normal(shape))
+        with pytest.raises(ValueError):
+            analyzer.truncation_error(cc, 0)
+        with pytest.raises(ValueError):
+            analyzer.quantization_bound([1.0])
+
+
+class TestAdjoint:
+    """The one-pass adjoint equals the basis-forward oracle everywhere."""
+
+    @pytest.mark.parametrize("shape", [(9,), (17, 9), (5, 5, 5), (16, 7)])
+    def test_adjoint_identity(self, shape, rng):
+        from repro.core.adjoint import recompose_adjoint
+        from repro.core.decompose import recompose
+
+        hier = TensorHierarchy.from_shape(shape)
+        x = rng.standard_normal(shape)
+        w = rng.standard_normal(shape)
+        lhs = float(np.sum(w * recompose(x, hier)))
+        rhs = float(np.sum(recompose_adjoint(w, hier) * x))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    @pytest.mark.parametrize("shape", [(9, 9), (17,), (5, 5, 5)])
+    def test_adjoint_matches_basis_oracle(self, shape, rng):
+        hier = TensorHierarchy.from_shape(shape)
+        w = rng.standard_normal(shape)
+        fast = QoIAnalyzer(hier, w, method="adjoint")
+        oracle = QoIAnalyzer(hier, w, method="basis")
+        for l in range(len(fast._sensitivities)):
+            np.testing.assert_allclose(
+                fast.sensitivity(l), oracle.sensitivity(l), atol=1e-10
+            )
+
+    def test_adjoint_scales_to_large_grids(self, rng):
+        # the basis oracle would need 66k reconstructions here; the
+        # adjoint does it in one pass
+        shape = (257, 257)
+        hier = TensorHierarchy.from_shape(shape)
+        qa = QoIAnalyzer(hier, mean_functional(shape))
+        data = rng.standard_normal(shape)
+        cc = Refactorer(shape).refactor(data)
+        assert qa.evaluate_from_classes(cc) == pytest.approx(
+            qa.evaluate(data), rel=1e-9
+        )
+
+    def test_unknown_method(self):
+        hier = TensorHierarchy.from_shape((9, 9))
+        with pytest.raises(ValueError):
+            QoIAnalyzer(hier, mean_functional((9, 9)), method="magic")
+
+    def test_nonuniform_adjoint(self, rng):
+        from conftest import nonuniform_coords
+        from repro.core.adjoint import recompose_adjoint
+        from repro.core.decompose import recompose
+
+        shape = (17, 9)
+        hier = TensorHierarchy.from_shape(shape, nonuniform_coords(shape, rng))
+        x = rng.standard_normal(shape)
+        w = rng.standard_normal(shape)
+        lhs = float(np.sum(w * recompose(x, hier)))
+        rhs = float(np.sum(recompose_adjoint(w, hier) * x))
+        assert lhs == pytest.approx(rhs, rel=1e-12)

@@ -1,0 +1,96 @@
+"""Tests for multilevel s-norm truncation estimates."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import l2
+from repro.core.refactor import Refactorer
+from repro.core.snorm import class_snorm, classes_for_tolerance, truncation_estimate
+from repro.workloads.synthetic import multilinear, multiscale, smooth
+
+
+def _domain_l2(err_field: np.ndarray, shape: tuple[int, ...]) -> float:
+    """Discrete L2(domain) norm on the unit cube."""
+    n = err_field.size
+    return l2(err_field) / np.sqrt(n)
+
+
+class TestClassSnorm:
+    def test_zero_for_multilinear(self):
+        cc = Refactorer((33, 33)).refactor(multilinear((33, 33)))
+        for l in range(1, cc.n_classes):
+            assert class_snorm(cc, l) < 1e-10
+
+    def test_scales_linearly(self, rng):
+        cc = Refactorer((33, 33)).refactor(rng.standard_normal((33, 33)))
+        doubled = Refactorer((33, 33)).refactor(
+            2.0 * cc.reconstruct()
+        )
+        for l in range(1, cc.n_classes):
+            assert class_snorm(doubled, l) == pytest.approx(
+                2.0 * class_snorm(cc, l), rel=1e-9
+            )
+
+    def test_positive_s_emphasizes_fine(self):
+        cc = Refactorer((65, 65)).refactor(multiscale((65, 65)))
+        L = cc.n_classes - 1
+        s0_ratio = class_snorm(cc, L, 0.0) / class_snorm(cc, 1, 0.0)
+        s1_ratio = class_snorm(cc, L, 1.0) / class_snorm(cc, 1, 1.0)
+        assert s1_ratio > s0_ratio
+
+    def test_level_range(self, rng):
+        cc = Refactorer((9, 9)).refactor(rng.standard_normal((9, 9)))
+        with pytest.raises(ValueError):
+            class_snorm(cc, 0)
+        with pytest.raises(ValueError):
+            class_snorm(cc, cc.n_classes)
+
+
+class TestTruncationEstimate:
+    def test_monotone_decreasing(self):
+        cc = Refactorer((65, 65)).refactor(smooth((65, 65)))
+        ests = [truncation_estimate(cc, k) for k in range(1, cc.n_classes + 1)]
+        assert all(a >= b for a, b in zip(ests[:-1], ests[1:]))
+        assert ests[-1] == 0.0
+
+    @pytest.mark.parametrize("field", [smooth, multiscale])
+    def test_tracks_true_l2_error(self, field):
+        shape = (65, 65)
+        data = field(shape)
+        cc = Refactorer(shape).refactor(data)
+        for k in range(1, cc.n_classes):
+            true = _domain_l2(cc.reconstruct(k) - data, shape)
+            est = truncation_estimate(cc, k)
+            if true < 1e-12:
+                continue
+            # multilevel norm equivalence: agree within a modest constant
+            assert est / true > 0.1
+            assert est / true < 10.0
+
+    def test_k_validation(self, rng):
+        cc = Refactorer((9, 9)).refactor(rng.standard_normal((9, 9)))
+        with pytest.raises(ValueError):
+            truncation_estimate(cc, 0)
+
+
+class TestClassesForTolerance:
+    def test_monotone_in_tolerance(self):
+        cc = Refactorer((65, 65)).refactor(smooth((65, 65)))
+        ks = [classes_for_tolerance(cc, tol) for tol in (1e-1, 1e-3, 1e-6, 0.0)]
+        assert all(a <= b for a, b in zip(ks[:-1], ks[1:]))
+        assert ks[-1] == cc.n_classes  # zero tolerance needs everything
+
+    def test_huge_tolerance_needs_one_class(self):
+        cc = Refactorer((33, 33)).refactor(smooth((33, 33)))
+        assert classes_for_tolerance(cc, 1e6) == 1
+
+    def test_selected_prefix_meets_estimate(self):
+        cc = Refactorer((65, 65)).refactor(multiscale((65, 65)))
+        tol = 1e-2
+        k = classes_for_tolerance(cc, tol)
+        assert truncation_estimate(cc, k) <= tol
+
+    def test_negative_tolerance_rejected(self, rng):
+        cc = Refactorer((9, 9)).refactor(rng.standard_normal((9, 9)))
+        with pytest.raises(ValueError):
+            classes_for_tolerance(cc, -1.0)

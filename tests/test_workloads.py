@@ -1,0 +1,124 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.grayscott import GrayScottParams, PRESETS, paper_grid, simulate
+from repro.workloads.synthetic import (
+    anisotropic,
+    discontinuous,
+    mesh,
+    multilinear,
+    multiscale,
+    smooth,
+    white_noise,
+)
+
+
+class TestGrayScott:
+    def test_shapes_and_finiteness(self):
+        v = simulate((33, 33), steps=50)
+        assert v.shape == (33, 33)
+        assert np.isfinite(v).all()
+
+    def test_3d_auto_stabilizes(self):
+        v = simulate((17, 17, 17), steps=30)
+        assert np.isfinite(v).all()
+
+    def test_values_stay_physical(self):
+        u = simulate((65, 65), steps=300, species="u")
+        assert u.min() > -0.1 and u.max() < 1.5
+
+    def test_deterministic_given_seed(self):
+        a = simulate((33, 33), steps=40, seed=5)
+        b = simulate((33, 33), steps=40, seed=5)
+        np.testing.assert_array_equal(a, b)
+        c = simulate((33, 33), steps=40, seed=6)
+        assert not np.array_equal(a, c)
+
+    def test_presets_differ(self):
+        a = simulate((33, 33), steps=200, params="spots")
+        b = simulate((33, 33), steps=200, params="waves")
+        assert not np.allclose(a, b)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            simulate((33, 33), params="plaid")
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            simulate((33,))
+
+    def test_species_validation(self):
+        with pytest.raises(ValueError):
+            simulate((33, 33), species="w")
+
+    def test_snapshots(self):
+        snaps = simulate((17, 17), steps=30, snapshot_every=10)
+        assert isinstance(snaps, list) and len(snaps) == 3
+        assert all(s.shape == (17, 17) for s in snaps)
+
+    def test_pattern_develops_structure(self):
+        v = simulate((65, 65), steps=1500, params="stripes")
+        # a formed pattern has substantial spatial variance
+        assert v.std() > 0.01
+
+    def test_paper_grid(self):
+        assert paper_grid(9) == (513, 513, 513)
+        assert paper_grid(13, ndim=2) == (8193, 8193)
+
+    def test_stability_predicate(self):
+        assert GrayScottParams(Du=0.2, Dv=0.1, dt=1.0).stable(2)
+        assert not GrayScottParams(Du=0.2, Dv=0.1, dt=1.0).stable(3)
+
+    def test_all_presets_listed(self):
+        assert set(PRESETS) == {"spots", "stripes", "waves", "maze"}
+
+
+class TestSynthetic:
+    def test_mesh_shapes(self):
+        grids = mesh((5, 7))
+        assert len(grids) == 2 and grids[0].shape == (5, 7)
+
+    def test_multilinear_refactors_to_zero_details(self):
+        from repro.core.refactor import Refactorer
+
+        for shape in [(17,), (9, 9), (5, 9, 5)]:
+            cc = Refactorer(shape).refactor(multilinear(shape))
+            for cls in cc.classes[1:]:
+                assert np.abs(cls).max() < 1e-10
+
+    def test_smooth_decays_noise_does_not(self):
+        from repro.core.errors import class_decay
+        from repro.core.refactor import Refactorer
+
+        shape = (129, 129)
+        r = Refactorer(shape)
+        d_smooth = class_decay(r.refactor(smooth(shape))).max_abs
+        d_noise = class_decay(r.refactor(white_noise(shape))).max_abs
+        # smooth: finest class much smaller than the largest detail class
+        assert d_smooth[-1] < 0.15 * max(d_smooth[1:])
+        # noise: no decay (within 3x)
+        assert d_noise[-1] > max(d_noise[1:]) / 3
+
+    def test_discontinuous_concentrates_fine_energy(self):
+        from repro.core.refactor import Refactorer
+
+        shape = (129, 129)
+        cc = Refactorer(shape).refactor(discontinuous(shape))
+        # the jump keeps the finest class magnitude comparable to coarse ones
+        from repro.core.errors import class_decay
+
+        mags = class_decay(cc).max_abs
+        assert mags[-1] > 0.2 * max(mags[1:])
+
+    def test_generators_deterministic(self):
+        np.testing.assert_array_equal(smooth((17, 17)), smooth((17, 17)))
+        np.testing.assert_array_equal(multiscale((17, 17)), multiscale((17, 17)))
+
+    def test_anisotropic_has_axis_asymmetry(self):
+        a = anisotropic((65, 65))
+        # variation along the last axis should dominate
+        d_first = np.abs(np.diff(a, axis=0)).mean()
+        d_last = np.abs(np.diff(a, axis=1)).mean()
+        assert d_last > 2 * d_first
