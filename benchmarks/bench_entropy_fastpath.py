@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Entropy-stage fast path + cached plans: before/after benchmark.
+
+Measures the scalar reference implementations ("before": the seed's
+per-element encode and per-bit pack/unpack loops) against the vectorized
+fast path ("after"), plus the end-to-end compressor with and without
+cached plans/batched class encoding, and writes the numbers to
+``benchmarks/results/BENCH_entropy_fastpath.json`` so the repo's perf
+trajectory is machine-readable.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_entropy_fastpath.py
+
+``REPRO_BENCH_SCALE=ci`` shrinks the workload for smoke runs.  Pass
+``--assert-speedup`` to fail (exit 1) unless the entropy stage clears
+the 10x acceptance bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compress.huffman import (
+    huffman_decode,
+    huffman_decode_scalar,
+    huffman_encode,
+    huffman_encode_scalar,
+)
+from repro.compress.mgard import MgardCompressor
+from repro.core.grid import TensorHierarchy, clear_hierarchy_cache
+from repro.compress.plan import clear_plan_cache
+from repro.workloads.synthetic import multiscale, skewed_bins
+
+RESULTS = Path(__file__).parent / "results"
+
+CI_SCALE = os.environ.get("REPRO_BENCH_SCALE") == "ci"
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def bench_entropy(n_symbols: int, repeats: int) -> dict:
+    """Scalar vs vectorized Huffman on a skewed int64 stream."""
+    values = skewed_bins(n_symbols)
+    enc_fast, (payload, header) = _best_of(lambda: huffman_encode(values), repeats)
+    dec_fast, decoded = _best_of(lambda: huffman_decode(payload, header), repeats)
+    if not np.array_equal(decoded, values):
+        raise AssertionError("fast path round-trip failed")
+    # the scalar loops are orders of magnitude slower; time them once
+    enc_ref, (payload_ref, header_ref) = _best_of(
+        lambda: huffman_encode_scalar(values), 1
+    )
+    dec_ref, decoded_ref = _best_of(lambda: huffman_decode_scalar(payload, header), 1)
+    if payload_ref != payload or header_ref != header:
+        raise AssertionError("scalar and vectorized payloads diverge")
+    if not np.array_equal(decoded_ref, values):
+        raise AssertionError("scalar round-trip failed")
+    return {
+        "n_symbols": n_symbols,
+        "payload_bits": header["bits"],
+        "scalar_encode_s": enc_ref,
+        "scalar_decode_s": dec_ref,
+        "fast_encode_s": enc_fast,
+        "fast_decode_s": dec_fast,
+        "encode_speedup": enc_ref / enc_fast,
+        "decode_speedup": dec_ref / dec_fast,
+        "combined_speedup": (enc_ref + dec_ref) / (enc_fast + dec_fast),
+    }
+
+
+def bench_end_to_end(shape: tuple[int, ...], n_fields: int, backend: str) -> dict:
+    """Repeated same-shape compress/decompress: seed path vs fast path.
+
+    "Before" rebuilds the hierarchy per field and encodes one
+    payload/header per class (the seed behaviour); "after" reuses the
+    cached compression plan and the batched single-header entropy stage.
+    """
+    fields = [multiscale(shape, seed=i) for i in range(n_fields)]
+    tol = 1e-3
+
+    def before():
+        # the seed pipeline: fresh hierarchy per field, one payload per
+        # class, and — for the huffman backend — the scalar entropy loops
+        from repro.compress import lossless
+
+        clear_hierarchy_cache()
+        clear_plan_cache()
+        patched = (lossless.huffman_encode, lossless.huffman_decode)
+        lossless.huffman_encode = huffman_encode_scalar
+        lossless.huffman_decode = huffman_decode_scalar
+        try:
+            total = 0.0
+            for f in fields:
+                t0 = time.perf_counter()
+                hier = TensorHierarchy.from_shape(shape)
+                comp = MgardCompressor(hier, tol, backend=backend, batch_classes=False)
+                blob = comp.compress(f)
+                out = comp.decompress(blob)
+                total += time.perf_counter() - t0
+                assert np.abs(out - f).max() <= tol
+            return total
+        finally:
+            lossless.huffman_encode, lossless.huffman_decode = patched
+
+    def after():
+        clear_hierarchy_cache()
+        clear_plan_cache()
+        total = 0.0
+        for f in fields:
+            t0 = time.perf_counter()
+            comp = MgardCompressor.for_shape(shape, tol, backend=backend)
+            blob = comp.compress(f)
+            out = comp.decompress(blob)
+            total += time.perf_counter() - t0
+            assert np.abs(out - f).max() <= tol
+        return total
+
+    t_before = before()
+    t_after = after()
+    return {
+        "shape": list(shape),
+        "n_fields": n_fields,
+        "backend": backend,
+        "before_s": t_before,
+        "after_s": t_after,
+        "speedup": t_before / t_after,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(RESULTS / "BENCH_entropy_fastpath.json"))
+    parser.add_argument("--assert-speedup", action="store_true")
+    args = parser.parse_args(argv)
+
+    n_symbols = 1 << 16 if CI_SCALE else 1 << 20
+    repeats = 2 if CI_SCALE else 3
+    shape = (33, 33, 33) if CI_SCALE else (65, 65, 65)
+    n_fields = 3 if CI_SCALE else 6
+
+    entropy = bench_entropy(n_symbols, repeats)
+    e2e = [
+        bench_end_to_end(shape, n_fields, backend) for backend in ("zlib", "huffman")
+    ]
+    report = {
+        "benchmark": "entropy_fastpath",
+        "scale": "ci" if CI_SCALE else "paper",
+        "entropy": entropy,
+        "end_to_end": e2e,
+    }
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"entropy ({entropy['n_symbols']} skewed int64 symbols): "
+        f"encode {entropy['encode_speedup']:.1f}x  "
+        f"decode {entropy['decode_speedup']:.1f}x  "
+        f"combined {entropy['combined_speedup']:.1f}x"
+    )
+    for r in e2e:
+        print(
+            f"end-to-end {tuple(r['shape'])} x{r['n_fields']} [{r['backend']}]: "
+            f"{r['before_s']:.3f}s -> {r['after_s']:.3f}s "
+            f"({r['speedup']:.2f}x)"
+        )
+    print(f"[written to {out_path}]")
+
+    if args.assert_speedup and entropy["combined_speedup"] < 10.0:
+        print("FAIL: entropy combined speedup below 10x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

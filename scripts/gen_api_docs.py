@@ -39,6 +39,7 @@ def main() -> None:
             summary = (inspect.getdoc(obj) or "").split("\n")[0].replace("|", "\\|")
             out.write(f"| `{name}` | {kind} | {summary} |\n")
     target = pathlib.Path(__file__).resolve().parent.parent / "docs" / "api.md"
+    target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(out.getvalue())
     print(f"wrote {target}")
 

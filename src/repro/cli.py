@@ -78,13 +78,55 @@ def _offload() -> str:
     return E.format_offload(E.offload_experiment())
 
 
+def _entropy() -> str:
+    import os
+    import time
+
+    import numpy as np
+
+    from repro.compress.huffman import (
+        huffman_decode,
+        huffman_decode_scalar,
+        huffman_encode,
+        huffman_encode_scalar,
+    )
+
+    from repro.workloads.synthetic import skewed_bins
+
+    n = 1 << 16 if os.environ.get("REPRO_BENCH_SCALE") == "ci" else 1 << 20
+    vals = skewed_bins(n)
+    t0 = time.perf_counter()
+    payload, header = huffman_encode(vals)
+    t1 = time.perf_counter()
+    out = huffman_decode(payload, header)
+    t2 = time.perf_counter()
+    assert np.array_equal(out, vals)
+    t3 = time.perf_counter()
+    payload_s, header_s = huffman_encode_scalar(vals)
+    t4 = time.perf_counter()
+    huffman_decode_scalar(payload_s, header_s)
+    t5 = time.perf_counter()
+    assert payload_s == payload and header_s == header
+    enc, dec = t1 - t0, t2 - t1
+    enc_s, dec_s = t4 - t3, t5 - t4
+    return "\n".join(
+        [
+            f"entropy stage on {n} skewed int64 symbols ({header['bits']} payload bits):",
+            f"  vectorized encode {enc * 1e3:8.1f} ms   decode {dec * 1e3:8.1f} ms",
+            f"  scalar     encode {enc_s * 1e3:8.1f} ms   decode {dec_s * 1e3:8.1f} ms",
+            f"  speedup    encode {enc_s / enc:8.1f} x    decode {dec_s / dec:8.1f} x"
+            f"    combined {(enc_s + dec_s) / (enc + dec):5.1f} x",
+        ]
+    )
+
+
 def _lifecycle() -> str:
     from repro.core.classes import num_classes
-    from repro.core.grid import TensorHierarchy
+    from repro.core.grid import hierarchy_for
     from repro.io.lifecycle import simulate_lifecycle, typical_request_trace
 
     shape = (513, 513, 513)
-    nc = num_classes(TensorHierarchy.from_shape(shape))
+    nc = num_classes(hierarchy_for(shape))
     trace = typical_request_trace(16, 400, nc)
     lines = ["Post-purge retrieval (intro scenario): 400 analyses over 16 archived 1 GB datasets"]
     for keep in (0.005, 0.02, 0.1):
@@ -122,6 +164,7 @@ EXPERIMENTS = {
     "fig10": (_fig10, "visualization-workflow I/O cost + accuracy demo"),
     "fig11": (_fig11, "MGARD compression stage breakdown"),
     "offload": (_offload, "CPU-app offload break-even analysis (paper §I)"),
+    "entropy": (_entropy, "entropy-stage fast path vs scalar reference"),
     "validate": (_validate, "machine-checkable residuals vs the paper's numbers"),
     "lifecycle": (_lifecycle, "post-purge retrieval: refactoring-aware archive policy"),
     "ablations": (_ablations, "design-choice ablations"),

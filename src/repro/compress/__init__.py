@@ -1,9 +1,23 @@
 """MGARD-style error-bounded lossy compression (paper Showcase V-B)."""
 
 from .fileio import CompressedFileError, load_compressed, save_compressed
-from .huffman import HuffmanCode, huffman_decode, huffman_encode
-from .lossless import BACKENDS, decode_bins, encode_bins
+from .huffman import (
+    HuffmanCode,
+    huffman_decode,
+    huffman_decode_scalar,
+    huffman_encode,
+    huffman_encode_scalar,
+)
+from .lossless import BACKENDS, decode_bins, decode_classes, encode_bins, encode_classes
 from .mgard import CompressedData, MgardCompressor, StageTimes
+from .plan import (
+    CompressionPlan,
+    RefactorPlan,
+    clear_plan_cache,
+    compression_plan,
+    plan_cache_stats,
+    refactor_plan,
+)
 from .quantizer import QuantizedClasses, Quantizer
 from .rate import RDPoint, bd_rate_gain, rate_distortion_curve
 from .timeseries import CompressedSeries, TimeSeriesCompressor
@@ -13,19 +27,29 @@ __all__ = [
     "CompressedData",
     "CompressedFileError",
     "CompressedSeries",
+    "CompressionPlan",
     "HuffmanCode",
     "MgardCompressor",
     "QuantizedClasses",
     "RDPoint",
     "Quantizer",
+    "RefactorPlan",
     "StageTimes",
     "TimeSeriesCompressor",
     "bd_rate_gain",
+    "clear_plan_cache",
+    "compression_plan",
     "decode_bins",
+    "decode_classes",
     "encode_bins",
+    "encode_classes",
     "huffman_decode",
+    "huffman_decode_scalar",
     "huffman_encode",
+    "huffman_encode_scalar",
     "load_compressed",
+    "plan_cache_stats",
     "rate_distortion_curve",
+    "refactor_plan",
     "save_compressed",
 ]

@@ -16,7 +16,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..core.grid import TensorHierarchy
+from ..core.grid import TensorHierarchy, hierarchy_for
 from .mgard import CompressedData
 
 __all__ = ["save_compressed", "load_compressed", "CompressedFileError"]
@@ -81,7 +81,7 @@ def load_compressed(path: str | Path) -> tuple[CompressedData, TensorHierarchy]:
             payloads.append(raw)
     shape = tuple(header["shape"])
     coords = header.get("coords")
-    hier = TensorHierarchy.from_shape(
+    hier = hierarchy_for(
         shape,
         None if coords is None else tuple(np.asarray(c) for c in coords),
     )

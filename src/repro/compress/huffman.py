@@ -10,30 +10,50 @@ self-contained canonical-Huffman implementation:
   are emitted as an ESCAPE code followed by 64 raw bits);
 * code assignment is canonical (sorted by (length, symbol)), so the
   decoder only needs the (symbol, length) pairs;
-* bit packing is vectorized through NumPy.
+* the default :func:`huffman_encode` / :func:`huffman_decode` pair is a
+  fully vectorized fast path — array-mapped codeword lookup plus bulk
+  bit packing on encode, and a per-length first-code canonical decode
+  driven by pointer doubling on decode;
+* :func:`huffman_encode_scalar` / :func:`huffman_decode_scalar` retain
+  the original per-element/per-bit loops as cross-check references; the
+  two encoders share the code-book construction and emit bit-identical
+  payloads.
 
 The coder is exact: ``decode(encode(x)) == x`` for any int64 array.
+The vectorized decoder allocates a few machine words per *payload bit*
+(not per symbol), so its memory footprint is proportional to the
+compressed bit count.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import Counter
-from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["HuffmanCode", "huffman_encode", "huffman_decode"]
+__all__ = [
+    "HuffmanCode",
+    "huffman_encode",
+    "huffman_decode",
+    "huffman_encode_scalar",
+    "huffman_decode_scalar",
+]
 
 _ESCAPE = object()  # sentinel symbol for out-of-table values
 
+# Both encoders record the bit offset of every _SYNC_BLOCK-th symbol in
+# the header ("sync").  The offsets let the decoder run one cursor per
+# block in vectorized lockstep instead of chasing the serial codeword
+# chain; real parallel entropy decoders use the same device.
+_SYNC_BLOCK = 512
 
-@dataclass
+
 class HuffmanCode:
     """A canonical Huffman code book: symbol -> (code, length)."""
 
-    lengths: dict  # symbol (int or _ESCAPE) -> code length
-    codes: dict  # symbol -> code value (int, MSB-first)
+    def __init__(self, lengths: dict, codes: dict):
+        self.lengths = lengths
+        self.codes = codes
 
     @classmethod
     def from_frequencies(cls, freqs: dict) -> "HuffmanCode":
@@ -99,16 +119,93 @@ class HuffmanCode:
 
 
 def _build_code(values: np.ndarray, max_table: int) -> HuffmanCode:
-    counts = Counter(values.tolist())
-    if len(counts) > max_table:
-        # keep the most frequent symbols; the tail goes through ESCAPE
-        kept = dict(counts.most_common(max_table - 1))
-        escaped = sum(f for s, f in counts.items() if s not in kept)
-        kept[_ESCAPE] = max(escaped, 1)
-        counts = kept
-    elif len(counts) == 0:
-        counts = {0: 1}
-    return HuffmanCode.from_frequencies(dict(counts))
+    if max_table < 2:
+        raise ValueError(f"max_table must be at least 2, got {max_table}")
+    syms, counts = np.unique(values, return_counts=True)
+    if syms.size == 0:
+        return HuffmanCode.from_frequencies({0: 1})
+    if syms.size <= max_table:
+        return HuffmanCode.from_frequencies(
+            {int(s): int(c) for s, c in zip(syms, counts)}
+        )
+    # keep the most frequent symbols; the tail goes through ESCAPE
+    order = np.argsort(-counts, kind="stable")  # ties: smaller symbol first
+    keep = np.sort(order[: max_table - 1])
+    escaped = int(counts.sum() - counts[keep].sum())
+    freqs = {int(syms[i]): int(counts[i]) for i in keep}
+    # every dropped symbol occurred at least once, so `escaped >= 1` here;
+    # guard anyway so a zero-frequency ESCAPE can never skew code lengths
+    if escaped > 0:
+        freqs[_ESCAPE] = escaped
+    return HuffmanCode.from_frequencies(freqs)
+
+
+def _header(code: HuffmanCode, n: int, total_bits: int, sync=None) -> dict:
+    header = {
+        "n": int(n),
+        "bits": int(total_bits),
+        "table": [
+            ("ESC" if s is _ESCAPE else int(s), int(ln))
+            for s, ln in code.lengths.items()
+        ],
+    }
+    if sync is not None and len(sync):
+        header["sync"] = [int(o) for o in sync]
+    return header
+
+
+def _lengths_from_header(header: dict) -> dict:
+    return {
+        (_ESCAPE if s == "ESC" else int(s)): int(ln) for s, ln in header["table"]
+    }
+
+
+# ----------------------------------------------------------------------
+# vectorized fast path
+
+
+def _code_arrays(code: HuffmanCode):
+    """Dense sorted symbol -> (code, length) arrays for vectorized lookup."""
+    syms = sorted(s for s in code.codes if s is not _ESCAPE)
+    sym_arr = np.asarray(syms, dtype=np.int64)
+    code_arr = np.asarray([code.codes[s] for s in syms], dtype=np.uint64)
+    len_arr = np.asarray([code.lengths[s] for s in syms], dtype=np.int64)
+    return sym_arr, code_arr, len_arr
+
+
+def _pack_chunks(
+    c_codes: np.ndarray, c_lens: np.ndarray
+) -> tuple[bytes, int, np.ndarray]:
+    """MSB-first concatenation of (code, length) chunks into packed bytes.
+
+    Word-aligned scatter: every chunk (≤ 64 bits) lands in at most two
+    big-endian 64-bit words of the output, so the whole pack is a
+    handful of vector ops over the chunk arrays plus one
+    ``bitwise_or.reduceat`` per landing word — no per-bit expansion.
+    """
+    n_chunks = c_codes.size
+    offsets = np.zeros(n_chunks + 1, dtype=np.int64)
+    np.cumsum(c_lens, out=offsets[1:])
+    total_bits = int(offsets[-1])
+    n_words = (total_bits + 63) >> 6
+    buf = np.zeros(n_words + 1, dtype=np.uint64)  # +1 spill word
+
+    w0 = offsets[:-1] >> 6
+    r = offsets[:-1] & 63
+    s = r + c_lens  # end bit of the chunk within its two-word window
+    shl = np.clip(64 - s, 0, 63).astype(np.uint64)
+    shr = np.clip(s - 64, 0, 63).astype(np.uint64)
+    part0 = np.where(s <= 64, c_codes << shl, c_codes >> shr)
+    sh1 = np.clip(128 - s, 0, 63).astype(np.uint64)
+    part1 = np.where(s > 64, c_codes << sh1, np.uint64(0))
+
+    # offsets are monotone, so chunks hitting the same word are contiguous
+    starts = np.flatnonzero(np.r_[True, w0[1:] != w0[:-1]])
+    idx = w0[starts]
+    buf[idx] |= np.bitwise_or.reduceat(part0, starts)
+    buf[idx + 1] |= np.bitwise_or.reduceat(part1, starts)
+    payload = buf[:n_words].astype(">u8").tobytes()[: (total_bits + 7) >> 3]
+    return payload, total_bits, offsets[:-1]
 
 
 def huffman_encode(values: np.ndarray, max_table: int = 4096) -> tuple[bytes, dict]:
@@ -116,23 +213,263 @@ def huffman_encode(values: np.ndarray, max_table: int = 4096) -> tuple[bytes, di
 
     The header carries the canonical code book as plain Python data
     (symbol/length pairs) plus the element count; it is what a container
-    format would serialize alongside the payload.
+    format would serialize alongside the payload.  This is the
+    vectorized fast path; it emits payloads bit-identical to
+    :func:`huffman_encode_scalar`.
     """
     values = np.ascontiguousarray(values, dtype=np.int64).ravel()
+    if values.size == 0:
+        return b"", {"n": 0, "bits": 0, "table": []}
+    code = _build_code(values, max_table)
+    sym_arr, code_arr, len_arr = _code_arrays(code)
+    idx = np.minimum(np.searchsorted(sym_arr, values), sym_arr.size - 1)
+    in_table = sym_arr[idx] == values
+    esc_len = code.lengths.get(_ESCAPE)
+    elem_chunk = None  # chunk index of each element's first chunk
+    if esc_len is None:
+        if not in_table.all():
+            raise AssertionError("value outside table but no escape code")
+        c_codes = code_arr[idx]
+        c_lens = len_arr[idx]
+    else:
+        # escapes contribute two chunks: the ESCAPE code + 64 raw bits
+        per = np.where(in_table, 1, 2).astype(np.int64)
+        starts = np.zeros(values.size, dtype=np.int64)
+        np.cumsum(per[:-1], out=starts[1:])
+        n_chunks = int(starts[-1] + per[-1])
+        c_codes = np.empty(n_chunks, dtype=np.uint64)
+        c_lens = np.empty(n_chunks, dtype=np.int64)
+        it = starts[in_table]
+        c_codes[it] = code_arr[idx[in_table]]
+        c_lens[it] = len_arr[idx[in_table]]
+        ep = starts[~in_table]
+        c_codes[ep] = np.uint64(code.codes[_ESCAPE])
+        c_lens[ep] = esc_len
+        c_codes[ep + 1] = values[~in_table].astype(np.uint64)  # two's complement
+        c_lens[ep + 1] = 64
+        elem_chunk = starts
+    payload, total_bits, offsets = _pack_chunks(c_codes, c_lens)
+    elem_bits = offsets if elem_chunk is None else offsets[elem_chunk]
+    sync = elem_bits[_SYNC_BLOCK::_SYNC_BLOCK]
+    return payload, _header(code, values.size, total_bits, sync)
+
+
+class _DecodeTables:
+    """Canonical first-code tables in array form.
+
+    Per length L the codes form the contiguous range
+    ``[first[L], first[L] + count[L])``; symbols in canonical order live
+    in one flat array indexed by ``base[L] + (code - first[L])``.  In
+    the left-justified (Moffat–Turpin) view the per-length ranges tile
+    ``[0, limit[-1])`` in ascending-length order, so a single
+    ``searchsorted`` against the range limits classifies a 64-bit
+    window.  The last limit may be ``2**64`` (Kraft-complete code), so
+    it is excluded from the search table and covered by the
+    ``rank < count`` check instead.
+    """
+
+    def __init__(self, code: HuffmanCode):
+        order = sorted(code.codes, key=lambda s: (code.lengths[s], code.codes[s]))
+        lens_present = sorted({ln for ln in code.lengths.values()})
+        self.flat_syms = np.empty(len(order), dtype=np.int64)
+        first: dict[int, int] = {}
+        count: dict[int, int] = {}
+        base: dict[int, int] = {}
+        self.esc_len = code.lengths.get(_ESCAPE)
+        self.esc_flat = -1
+        for i, s in enumerate(order):
+            ln = code.lengths[s]
+            if ln not in first:
+                first[ln] = code.codes[s]
+                base[ln] = i
+                count[ln] = 0
+            count[ln] += 1
+            if s is _ESCAPE:
+                self.esc_flat = i
+                self.flat_syms[i] = 0
+            else:
+                self.flat_syms[i] = s
+        self.lens_arr = np.asarray(lens_present, dtype=np.int64)
+        self.first_arr = np.asarray([first[L] for L in lens_present], dtype=np.uint64)
+        self.count_arr = np.asarray([count[L] for L in lens_present], dtype=np.uint64)
+        self.base_arr = np.asarray([base[L] for L in lens_present], dtype=np.int64)
+        self.limits = np.asarray(
+            [(first[L] + count[L]) << (64 - L) for L in lens_present[:-1]],
+            dtype=np.uint64,
+        )
+
+    def classify(self, win: np.ndarray):
+        """Left-justified windows -> (length, flat symbol rank, valid)."""
+        li = np.searchsorted(self.limits, win, side="right")
+        L = self.lens_arr[li]
+        rank = (win >> (64 - L).astype(np.uint64)) - self.first_arr[li]
+        valid = rank < self.count_arr[li]
+        return L, self.base_arr[li] + rank.astype(np.int64), valid
+
+
+def _payload_words(payload: bytes, total: int, spill: int = 2) -> np.ndarray:
+    """Payload as big-endian 64-bit words, zero padded with spill words."""
+    n_bytes = (total + 7) >> 3
+    n_words = (total + 63) >> 6
+    byts = np.zeros((n_words + spill) * 8, dtype=np.uint8)
+    byts[:n_bytes] = np.frombuffer(payload, dtype=np.uint8, count=n_bytes)
+    return byts.view(">u8").astype(np.uint64)
+
+
+def _windows_at(words: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """The 64 stream bits starting at each bit position in ``p``."""
+    wi = p >> 6
+    r = (p & 63).astype(np.uint64)
+    return (words[wi] << r) | ((words[wi + 1] >> (np.uint64(63) - r)) >> np.uint64(1))
+
+
+def huffman_decode(payload: bytes, header: dict) -> np.ndarray:
+    """Invert :func:`huffman_encode` (vectorized fast path).
+
+    Canonical decoding normally walks the bit stream serially.  When the
+    header carries sync offsets (one per :data:`_SYNC_BLOCK` symbols —
+    any payload our encoders emit), the fast path runs one cursor per
+    block in vectorized lockstep.  Headers without sync fall back to a
+    whole-stream classification: "if a codeword started at bit ``p``,
+    which (length, symbol) would it be?", with the actual codeword-start
+    chain ``p -> p + len(p)`` resolved by pointer doubling — still pure
+    NumPy array operations.
+    """
+    n = int(header["n"])
+    if n < 0:
+        raise ValueError(f"corrupt Huffman header: negative element count {n}")
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(header["bits"])
+    if total < 0:
+        raise ValueError(f"corrupt Huffman header: negative bit count {total}")
+    if len(payload) < (total + 7) >> 3:
+        raise ValueError("truncated Huffman payload")
+    code = HuffmanCode.from_lengths(_lengths_from_header(header))
+    tables = _DecodeTables(code)
+    sync = header.get("sync")
+    if sync and len(sync) + 1 == -(-n // _SYNC_BLOCK):
+        return _decode_sync(payload, n, total, tables, sync)
+    return _decode_chain(payload, n, total, tables)
+
+
+def _decode_sync(payload, n, total, tables: _DecodeTables, sync) -> np.ndarray:
+    """Lockstep decode: one cursor per sync block, advanced together."""
+    words = _payload_words(payload, total)
+    n_blocks = len(sync) + 1
+    starts = np.empty(n_blocks, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = sync
+    ends = np.empty(n_blocks, dtype=np.int64)
+    ends[:-1] = sync
+    ends[-1] = total
+    if np.any(starts > total) or np.any(np.diff(starts) < 0):
+        raise ValueError("corrupt Huffman payload: bad sync offsets")
+    rem = n - (n_blocks - 1) * _SYNC_BLOCK  # symbols in the last block
+    out = np.empty((n_blocks, _SYNC_BLOCK), dtype=np.int64)
+    pos = starts.copy()
+    esc_flat, esc_len = tables.esc_flat, tables.esc_len
+    for t in range(_SYNC_BLOCK):
+        m = n_blocks if t < rem else n_blocks - 1
+        p = pos[:m]
+        win = _windows_at(words, p)
+        L, flat, valid = tables.classify(win)
+        if not valid.all():
+            raise ValueError("corrupt Huffman payload: no codeword matches")
+        sym = tables.flat_syms[flat]
+        if esc_flat >= 0:
+            em = flat == esc_flat
+            if em.any():
+                raw = _windows_at(words, p[em] + esc_len)
+                sym[em] = raw.astype(np.int64)  # two's complement
+                L = L + np.where(em, 64, 0)
+        out[:m, t] = sym
+        p += L
+        if p.max(initial=0) > total:
+            raise ValueError("truncated Huffman payload")
+    if not np.array_equal(pos, ends):
+        raise ValueError("corrupt Huffman payload: sync mismatch")
+    return np.concatenate([out[:-1].reshape(-1), out[-1, :rem]])
+
+
+def _decode_chain(payload, n, total, tables: _DecodeTables) -> np.ndarray:
+    """Whole-stream classification + pointer-doubling chain resolution."""
+    words = _payload_words(payload, total, spill=1)
+    win = _windows_at(words, np.arange(total, dtype=np.int64))
+    L_at, flat_at, valid = tables.classify(win)
+    len_at = np.where(valid, L_at, 0)
+    step = len_at.copy()
+    esc_flat, esc_len = tables.esc_flat, tables.esc_len
+    if esc_flat >= 0:
+        step[valid & (flat_at == esc_flat)] += 64
+
+    nxt = np.empty(total + 1, dtype=np.int64)
+    np.add(np.arange(total, dtype=np.int64), step, out=nxt[:total])
+    nxt[total] = total  # sentinel self-loop at end-of-stream
+    nxt[:total][~valid] = total  # no codeword starts here; flagged if visited
+    np.minimum(nxt, total, out=nxt)
+
+    # orbit of position 0 under `nxt` by pointer doubling: when `pos`
+    # holds the first m codeword starts and J = nxt^m, J[pos] is the
+    # next m starts.
+    pos = np.zeros(1, dtype=np.int64)
+    J = nxt
+    while pos.size < n:
+        pos = np.concatenate([pos, J[pos]])
+        if pos.size < n:
+            J = J[J]
+    pos = pos[:n]
+
+    overrun = np.flatnonzero(pos >= total)
+    if overrun.size:
+        k = int(overrun[0])
+        if k > 0 and len_at[pos[k - 1]] == 0:
+            raise ValueError("corrupt Huffman payload: no codeword matches")
+        raise ValueError("truncated Huffman payload")
+    if len_at[pos[-1]] == 0:
+        raise ValueError("corrupt Huffman payload: no codeword matches")
+    if int(pos[-1] + step[pos[-1]]) > total:
+        raise ValueError("truncated Huffman payload")
+
+    ranks = flat_at[pos]
+    out = tables.flat_syms[ranks]
+    if esc_flat >= 0:
+        em = ranks == esc_flat
+        if np.any(em):
+            pe = pos[em] + esc_len  # start of the 64 raw bits
+            out[em] = win[pe].astype(np.int64)  # two's complement
+    return out
+
+
+# ----------------------------------------------------------------------
+# scalar reference implementations (cross-checks for the fast path)
+
+
+def huffman_encode_scalar(values: np.ndarray, max_table: int = 4096) -> tuple[bytes, dict]:
+    """Per-element/per-bit reference encoder (bit-identical payloads)."""
+    values = np.ascontiguousarray(values, dtype=np.int64).ravel()
+    if values.size == 0:
+        return b"", {"n": 0, "bits": 0, "table": []}
     code = _build_code(values, max_table)
     esc_len = code.lengths.get(_ESCAPE)
-    # emit (code, length) per element
+    # emit (code, length) per element, tracking sync-block bit offsets
     bit_chunks: list[tuple[int, int]] = []
+    sync: list[int] = []
+    cum_bits = 0
     table_codes = code.codes
     table_lengths = code.lengths
-    for v in values.tolist():
+    for i, v in enumerate(values.tolist()):
+        if i and i % _SYNC_BLOCK == 0:
+            sync.append(cum_bits)
         if v in table_codes:
             bit_chunks.append((table_codes[v], table_lengths[v]))
+            cum_bits += table_lengths[v]
         else:
             if esc_len is None:
                 raise AssertionError("value outside table but no escape code")
             bit_chunks.append((table_codes[_ESCAPE], esc_len))
             bit_chunks.append((v & ((1 << 64) - 1), 64))
+            cum_bits += esc_len + 64
     # pack MSB-first
     total_bits = sum(ln for _, ln in bit_chunks)
     buf = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
@@ -142,22 +479,14 @@ def huffman_encode(values: np.ndarray, max_table: int = 4096) -> tuple[bytes, di
             if (val >> shift) & 1:
                 buf[pos >> 3] |= 0x80 >> (pos & 7)
             pos += 1
-    header = {
-        "n": int(values.size),
-        "bits": int(total_bits),
-        "table": [
-            ("ESC" if s is _ESCAPE else int(s), int(ln)) for s, ln in code.lengths.items()
-        ],
-    }
-    return buf.tobytes(), header
+    return buf.tobytes(), _header(code, values.size, total_bits, sync)
 
 
-def huffman_decode(payload: bytes, header: dict) -> np.ndarray:
-    """Invert :func:`huffman_encode`."""
-    lengths = {
-        (_ESCAPE if s == "ESC" else int(s)): int(ln) for s, ln in header["table"]
-    }
-    code = HuffmanCode.from_lengths(lengths)
+def huffman_decode_scalar(payload: bytes, header: dict) -> np.ndarray:
+    """Per-bit reference decoder matching :func:`huffman_encode_scalar`."""
+    if int(header["n"]) == 0:
+        return np.empty(0, dtype=np.int64)
+    code = HuffmanCode.from_lengths(_lengths_from_header(header))
     # first-code/first-symbol tables per length for canonical decoding
     by_len: dict[int, dict[int, object]] = {}
     for sym, c in code.codes.items():

@@ -16,7 +16,7 @@ import numpy as np
 
 from .huffman import huffman_decode, huffman_encode
 
-__all__ = ["encode_bins", "decode_bins", "BACKENDS"]
+__all__ = ["encode_bins", "decode_bins", "encode_classes", "decode_classes", "BACKENDS"]
 
 BACKENDS = ("zlib", "huffman")
 
@@ -47,6 +47,81 @@ def encode_bins(values: np.ndarray, backend: str = "zlib", level: int = 6) -> tu
         hh["backend"] = "huffman"
         return payload, hh
     raise ValueError(f"unknown lossless backend {backend!r}; choose from {BACKENDS}")
+
+
+def encode_classes(
+    bins: np.ndarray,
+    sizes: list[int],
+    backend: str = "zlib",
+    level: int = 6,
+) -> tuple[bytes, dict]:
+    """Encode all coefficient classes as one payload with one header.
+
+    ``bins`` is the int64 concatenation of every class (coarse-to-fine)
+    and ``sizes`` the per-class element counts.  For zlib, each class is
+    still narrowed to its own smallest dtype (fine classes are near-zero
+    and pack much tighter than the coarse class) before a single deflate
+    pass; for huffman, one shared code book covers all classes, with
+    coarse-class outliers riding the escape channel.
+    """
+    bins = np.ascontiguousarray(bins, dtype=np.int64).ravel()
+    sizes = [int(s) for s in sizes]
+    if bins.size != sum(sizes):
+        raise ValueError(f"flat payload has {bins.size} values, expected {sum(sizes)}")
+    if backend == "zlib":
+        bounds = np.cumsum([0] + sizes)
+        parts, dtypes = [], []
+        for a, b in zip(bounds[:-1], bounds[1:]):
+            seg = bins[a:b]
+            dt = _narrow_dtype(seg)
+            parts.append(seg.astype(dt).tobytes())
+            dtypes.append(dt.str)
+        payload = zlib.compress(b"".join(parts), level)
+        header = {
+            "backend": "zlib",
+            "dtypes": dtypes,
+            "n": int(bins.size),
+            "class_sizes": sizes,
+        }
+        return payload, header
+    if backend == "huffman":
+        payload, header = huffman_encode(bins)
+        header["backend"] = "huffman"
+        header["class_sizes"] = sizes
+        return payload, header
+    raise ValueError(f"unknown lossless backend {backend!r}; choose from {BACKENDS}")
+
+
+def decode_classes(payload: bytes, header: dict) -> tuple[np.ndarray, list[int]]:
+    """Invert :func:`encode_classes`; returns (flat int64 bins, sizes)."""
+    sizes = header.get("class_sizes")
+    if sizes is None:
+        raise ValueError("header carries no class_sizes; not a batched payload")
+    sizes = [int(s) for s in sizes]
+    backend = header.get("backend")
+    if backend == "zlib":
+        raw = zlib.decompress(payload)
+        out = np.empty(sum(sizes), dtype=np.int64)
+        offset = 0
+        pos = 0
+        for size, dt in zip(sizes, header["dtypes"]):
+            dt = np.dtype(dt)
+            nbytes = size * dt.itemsize
+            seg = np.frombuffer(raw[offset : offset + nbytes], dtype=dt)
+            if seg.size != size:
+                raise ValueError(f"decoded {seg.size} values, expected {size}")
+            out[pos : pos + size] = seg
+            offset += nbytes
+            pos += size
+        if offset != len(raw):
+            raise ValueError(f"batched payload has {len(raw) - offset} trailing bytes")
+        return out, sizes
+    if backend == "huffman":
+        out = huffman_decode(payload, header)
+        if out.size != sum(sizes):
+            raise ValueError(f"decoded {out.size} values, expected {sum(sizes)}")
+        return out, sizes
+    raise ValueError(f"unknown lossless backend {backend!r}")
 
 
 def decode_bins(payload: bytes, header: dict) -> np.ndarray:

@@ -29,7 +29,7 @@ from ..core.decompose import decompose, recompose
 from ..core.classes import assemble_from_classes
 from ..core.engine import Engine, NumpyEngine
 from ..core.grid import TensorHierarchy
-from .lossless import decode_bins, encode_bins
+from .lossless import decode_bins, decode_classes, encode_bins, encode_classes
 from .quantizer import Quantizer
 
 __all__ = ["CompressedData", "MgardCompressor", "StageTimes"]
@@ -95,6 +95,15 @@ class MgardCompressor:
     quantize_on_gpu:
         Whether the quantization stage runs on the device in the modeled
         breakdown (the paper offloads it together with refactoring).
+    batch_classes:
+        Encode all coefficient classes into one payload with a single
+        shared header (the batched fast path) instead of one
+        payload/header per class.  Decompression auto-detects either
+        layout.
+    plan:
+        Optional :class:`~repro.compress.plan.CompressionPlan`; when
+        given, the quantizer step budget comes pre-resolved from the
+        plan cache.  Prefer :meth:`for_shape` which wires this up.
     """
 
     def __init__(
@@ -105,12 +114,43 @@ class MgardCompressor:
         backend: str = "zlib",
         engine: Engine | None = None,
         quantize_on_gpu: bool = True,
+        batch_classes: bool = True,
+        plan=None,
     ):
         self.hier = hier
-        self.quantizer = Quantizer(tol, mode=mode)
-        self.backend = backend
+        self.plan = plan
+        if plan is not None:
+            self.quantizer = plan.quantizer()
+            self.backend = plan.backend
+        else:
+            self.quantizer = Quantizer(tol, mode=mode)
+            self.backend = backend
         self.engine = engine if engine is not None else NumpyEngine()
         self.quantize_on_gpu = quantize_on_gpu
+        self.batch_classes = batch_classes
+
+    @classmethod
+    def for_shape(
+        cls,
+        shape: tuple[int, ...],
+        tol: float,
+        mode: str = "level",
+        backend: str = "zlib",
+        coords=None,
+        **kwargs,
+    ) -> "MgardCompressor":
+        """A compressor built from the shared plan cache.
+
+        Repeated calls with the same (shape, coords, tol, mode, backend)
+        reuse the cached hierarchy (Cholesky factors and all) and the
+        cached quantizer budget, so per-call setup is O(1).
+        """
+        from .plan import compression_plan
+
+        plan = compression_plan(shape, tol, mode=mode, backend=backend, coords=coords)
+        return cls(
+            plan.hier, tol, mode=mode, backend=backend, plan=plan, **kwargs
+        )
 
     # ------------------------------------------------------------------
     def compress(self, data: np.ndarray) -> CompressedData:
@@ -121,23 +161,34 @@ class MgardCompressor:
         cc = CoefficientClasses(self.hier, extract_classes(refactored, self.hier))
         times.refactor_wall = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        qc = self.quantizer.quantize(cc)
-        times.quantize_wall = time.perf_counter() - t0
+        if self.batch_classes:
+            t0 = time.perf_counter()
+            bins, sizes, steps = self.quantizer.quantize_flat(cc)
+            times.quantize_wall = time.perf_counter() - t0
 
-        t0 = time.perf_counter()
-        payloads, headers = [], []
-        for b in qc.bins:
-            p, h = encode_bins(b, backend=self.backend)
-            payloads.append(p)
-            headers.append(h)
-        times.entropy_wall = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            payload, header = encode_classes(bins, sizes, backend=self.backend)
+            payloads, headers = [payload], [header]
+            times.entropy_wall = time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            qc = self.quantizer.quantize(cc)
+            steps = qc.steps
+            times.quantize_wall = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            payloads, headers = [], []
+            for b in qc.bins:
+                p, h = encode_bins(b, backend=self.backend)
+                payloads.append(p)
+                headers.append(h)
+            times.entropy_wall = time.perf_counter() - t0
 
         self._attach_modeled_times(times, data.nbytes)
         return CompressedData(
             payloads=payloads,
             headers=headers,
-            steps=qc.steps,
+            steps=list(steps),
             shape=self.hier.shape,
             tol=self.quantizer.tol,
             mode=self.quantizer.mode,
@@ -145,24 +196,40 @@ class MgardCompressor:
         )
 
     def decompress(self, blob: CompressedData) -> np.ndarray:
-        """Invert :meth:`compress` (up to the error bound)."""
+        """Invert :meth:`compress` (up to the error bound).
+
+        Accepts both payload layouts: one payload per class, or the
+        batched single payload whose header carries ``class_sizes``.
+        """
         if blob.shape != self.hier.shape:
             raise ValueError(
                 f"blob was compressed for shape {blob.shape}, not {self.hier.shape}"
             )
-        times = StageTimes()
-        t0 = time.perf_counter()
-        bins = [decode_bins(p, h) for p, h in zip(blob.payloads, blob.headers)]
-        times.entropy_wall = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
         sizes = class_sizes(self.hier)
-        if [b.size for b in bins] != sizes:
-            raise ValueError("decoded class sizes do not match the hierarchy")
-        classes = [
-            b.astype(np.float64) * step for b, step in zip(bins, blob.steps)
-        ]
-        times.quantize_wall = time.perf_counter() - t0  # de-quantization
+        batched = len(blob.payloads) == 1 and "class_sizes" in blob.headers[0]
+        times = StageTimes()
+        if batched:
+            t0 = time.perf_counter()
+            flat, got_sizes = decode_classes(blob.payloads[0], blob.headers[0])
+            times.entropy_wall = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            if got_sizes != sizes:
+                raise ValueError("decoded class sizes do not match the hierarchy")
+            classes = Quantizer.dequantize_flat(flat, sizes, blob.steps)
+            times.quantize_wall = time.perf_counter() - t0  # de-quantization
+        else:
+            t0 = time.perf_counter()
+            bins = [decode_bins(p, h) for p, h in zip(blob.payloads, blob.headers)]
+            times.entropy_wall = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            if [b.size for b in bins] != sizes:
+                raise ValueError("decoded class sizes do not match the hierarchy")
+            classes = [
+                b.astype(np.float64) * step for b, step in zip(bins, blob.steps)
+            ]
+            times.quantize_wall = time.perf_counter() - t0  # de-quantization
 
         t0 = time.perf_counter()
         refactored = assemble_from_classes(classes, self.hier)

@@ -77,20 +77,37 @@ class Quantizer:
         self.tol = float(tol)
         self.mode = mode
         self.safety = float(safety)
+        self._steps_cache: dict[int, list[float]] = {}
 
     # ------------------------------------------------------------------
+    def seed_steps(self, n_classes: int, steps) -> None:
+        """Pre-populate the per-class step budget (from a cached plan)."""
+        if len(steps) != n_classes:
+            raise ValueError(f"expected {n_classes} steps, got {len(steps)}")
+        self._steps_cache[int(n_classes)] = [float(s) for s in steps]
+
     def steps_for(self, n_classes: int) -> list[float]:
-        """Quantization step (bin width) per class, coarse-to-fine."""
+        """Quantization step (bin width) per class, coarse-to-fine.
+
+        The budget depends only on the class count, so it is resolved
+        once per count and memoized on the quantizer.
+        """
+        cached = self._steps_cache.get(n_classes)
+        if cached is not None:
+            return list(cached)
         budget = self.tol * self.safety
         if self.mode == "uniform":
             per = budget / n_classes
-            return [2.0 * per] * n_classes
-        # "level": allocate a geometric series of the budget, smallest
-        # share to the coarsest class (whose perturbations traverse the
-        # most recomposition stages).
-        weights = np.asarray([2.0 ** (l - n_classes + 1) for l in range(n_classes)])
-        weights /= weights.sum()
-        return [2.0 * budget * float(w) for w in weights]
+            steps = [2.0 * per] * n_classes
+        else:
+            # "level": allocate a geometric series of the budget, smallest
+            # share to the coarsest class (whose perturbations traverse the
+            # most recomposition stages).
+            weights = np.asarray([2.0 ** (l - n_classes + 1) for l in range(n_classes)])
+            weights /= weights.sum()
+            steps = [2.0 * budget * float(w) for w in weights]
+        self._steps_cache[n_classes] = steps
+        return list(steps)
 
     def quantize(self, cc: CoefficientClasses) -> QuantizedClasses:
         """Quantize every class to integer bins."""
@@ -100,6 +117,35 @@ class Quantizer:
             q = np.round(values / step).astype(np.int64)
             bins.append(q)
         return QuantizedClasses(bins=bins, steps=steps, tol=self.tol, mode=self.mode)
+
+    def quantize_flat(
+        self, cc: CoefficientClasses
+    ) -> tuple[np.ndarray, list[int], list[float]]:
+        """Quantize all classes in one fused pass.
+
+        Returns ``(bins, sizes, steps)`` where ``bins`` is the int64
+        concatenation of every class (coarse-to-fine) — the batched
+        layout the single-header entropy stage consumes.
+        """
+        steps = self.steps_for(cc.n_classes)
+        sizes = [int(c.size) for c in cc.classes]
+        flat = np.concatenate([np.ravel(c) for c in cc.classes])
+        inv = np.repeat(1.0 / np.asarray(steps, dtype=np.float64), sizes)
+        bins = np.round(flat * inv).astype(np.int64)
+        return bins, sizes, steps
+
+    @staticmethod
+    def dequantize_flat(
+        bins: np.ndarray, sizes: list[int], steps: list[float]
+    ) -> list[np.ndarray]:
+        """Invert :meth:`quantize_flat` back to per-class float arrays."""
+        if bins.size != sum(sizes):
+            raise ValueError(
+                f"flat payload has {bins.size} values, expected {sum(sizes)}"
+            )
+        scale = np.repeat(np.asarray(steps, dtype=np.float64), sizes)
+        flat = bins.astype(np.float64) * scale
+        return np.split(flat, np.cumsum(sizes)[:-1])
 
     def dequantize(self, qc: QuantizedClasses, cc_template: CoefficientClasses) -> CoefficientClasses:
         """Rebuild (perturbed) coefficient classes from integer bins."""

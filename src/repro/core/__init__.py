@@ -25,7 +25,16 @@ from .correction import compute_correction
 from .decompose import decompose, recompose, restrict_all
 from .engine import Engine, NumpyEngine
 from .errors import class_decay, l2, linf, psnr, rel_l2, rel_linf
-from .grid import Hierarchy1D, LevelOps, TensorHierarchy, dyadic_size, num_levels_for_size
+from .grid import (
+    Hierarchy1D,
+    LevelOps,
+    TensorHierarchy,
+    clear_hierarchy_cache,
+    dyadic_size,
+    hierarchy_cache_stats,
+    hierarchy_for,
+    num_levels_for_size,
+)
 from .mass import dense_mass_matrix, mass_apply, mass_apply_coarse
 from .adjoint import qoi_sensitivities, recompose_adjoint
 from .qoi import QoIAnalyzer, mean_functional, region_average
@@ -48,6 +57,7 @@ __all__ = [
     "class_snorm",
     "classes_for_tolerance",
     "class_sizes",
+    "clear_hierarchy_cache",
     "compute_coefficients",
     "compute_correction",
     "decompose",
@@ -56,6 +66,8 @@ __all__ = [
     "detail_mask",
     "dyadic_size",
     "extract_classes",
+    "hierarchy_cache_stats",
+    "hierarchy_for",
     "interpolate_coarse",
     "l2",
     "linf",

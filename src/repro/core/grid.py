@@ -35,6 +35,8 @@ Two classes are exported:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -46,6 +48,9 @@ __all__ = [
     "Hierarchy1D",
     "TensorHierarchy",
     "dyadic_size",
+    "hierarchy_for",
+    "clear_hierarchy_cache",
+    "hierarchy_cache_stats",
     "num_levels_for_size",
 ]
 
@@ -430,3 +435,99 @@ class TensorHierarchy:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"TensorHierarchy(shape={self.shape}, L={self.L})"
+
+
+# ----------------------------------------------------------------------
+# shared hierarchy cache
+#
+# Building a TensorHierarchy precomputes every level's interpolation
+# weights, banded mass matrices, and Cholesky factors — work that
+# depends only on (shape, coordinates).  Streaming and multi-field
+# workloads compress thousands of same-shape arrays, so the hierarchy is
+# memoized here and shared by Refactorer, the compression plans, and the
+# file/stream readers.
+
+
+class _LruCache:
+    """Thread-safe LRU memo with hit/miss counters.
+
+    Shared by the hierarchy cache here and the plan cache in
+    :mod:`repro.compress.plan`.  Concurrent misses may both build a
+    value; last writer wins, which is harmless for immutable entries.
+    """
+
+    def __init__(self, max_entries: int):
+        self._data: OrderedDict = OrderedDict()
+        self._max = int(max_entries)
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key):
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+                self._hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._misses += 1
+            self._data[key] = value
+            while len(self._data) > self._max:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = self._misses = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+
+_HIER_CACHE = _LruCache(max_entries=128)
+
+
+def _coords_key(coords) -> tuple | None:
+    if coords is None:
+        return None
+    return tuple(
+        None if c is None else np.ascontiguousarray(c, dtype=np.float64).tobytes()
+        for c in coords
+    )
+
+
+def hierarchy_for(
+    shape: tuple[int, ...],
+    coords: tuple[np.ndarray | None, ...] | None = None,
+) -> TensorHierarchy:
+    """A shared, cached :class:`TensorHierarchy` for one grid geometry.
+
+    Equivalent to :meth:`TensorHierarchy.from_shape` but memoized on
+    (shape, coordinate values) with LRU eviction, so repeated
+    compress/decompress of same-shape fields skips all per-geometry
+    setup.  Callers must treat the returned hierarchy as immutable.
+    """
+    key = (tuple(int(s) for s in shape), _coords_key(coords))
+    hier = _HIER_CACHE.get(key)
+    if hier is None:
+        hier = TensorHierarchy.from_shape(tuple(shape), coords)
+        _HIER_CACHE.put(key, hier)
+    return hier
+
+
+def clear_hierarchy_cache() -> None:
+    """Drop all cached hierarchies (and reset the hit/miss counters)."""
+    _HIER_CACHE.clear()
+
+
+def hierarchy_cache_stats() -> dict:
+    """Snapshot of the hierarchy cache: entries, hits, misses."""
+    return _HIER_CACHE.stats()

@@ -25,7 +25,7 @@ import numpy as np
 from .classes import CoefficientClasses, extract_classes, num_classes
 from .decompose import decompose, recompose
 from .engine import Engine, NumpyEngine
-from .grid import TensorHierarchy
+from .grid import TensorHierarchy, hierarchy_for
 
 __all__ = ["Refactorer"]
 
@@ -45,6 +45,11 @@ class Refactorer:
         Execution engine; defaults to the pure NumPy reference.  Pass a
         :class:`repro.kernels.gpu_engine.GpuSimEngine` to meter the
         simulated-GPU cost of every operation.
+
+    Hierarchies are resolved through the shared cache
+    (:func:`repro.core.grid.hierarchy_for`), so constructing many
+    refactorers for the same geometry — the streaming and multi-field
+    pattern — builds the per-level operator data exactly once.
     """
 
     def __init__(
@@ -53,7 +58,7 @@ class Refactorer:
         coords: tuple[np.ndarray | None, ...] | None = None,
         engine: Engine | None = None,
     ):
-        self.hier = TensorHierarchy.from_shape(tuple(shape), coords)
+        self.hier = hierarchy_for(tuple(shape), coords)
         self.engine = engine if engine is not None else NumpyEngine()
 
     # ------------------------------------------------------------------

@@ -27,7 +27,7 @@ from pathlib import Path
 import numpy as np
 
 from ..core.classes import CoefficientClasses, reconstruct_from_classes
-from ..core.grid import TensorHierarchy
+from ..core.grid import TensorHierarchy, hierarchy_for
 from ..core.refactor import Refactorer
 from ..core.snorm import truncation_estimate
 from .container import RefactoredFileReader, write_refactored
@@ -106,7 +106,7 @@ class StepStreamReader:
         manifest = json.loads(path.read_text())
         self.shape = tuple(manifest["shape"])
         self.steps = manifest["steps"]
-        self.hier = TensorHierarchy.from_shape(self.shape)
+        self.hier = hierarchy_for(self.shape)
 
     @property
     def n_steps(self) -> int:

@@ -7,6 +7,7 @@ from .synthetic import (
     mesh,
     multilinear,
     multiscale,
+    skewed_bins,
     smooth,
     turbulence,
     white_noise,
@@ -22,6 +23,7 @@ __all__ = [
     "multiscale",
     "paper_grid",
     "simulate",
+    "skewed_bins",
     "smooth",
     "turbulence",
     "white_noise",

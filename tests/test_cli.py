@@ -32,5 +32,6 @@ def test_individual_experiments_run(name, capsys, monkeypatch):
 def test_experiment_registry_complete():
     assert set(EXPERIMENTS) == {
         "fig7", "table2", "table3", "table4", "table5", "table6",
-        "fig8", "fig9", "fig10", "fig11", "offload", "validate", "lifecycle", "ablations",
+        "fig8", "fig9", "fig10", "fig11", "offload", "validate", "lifecycle",
+        "ablations", "entropy",
     }

@@ -1,0 +1,186 @@
+"""Vectorized entropy/quantize fast path vs the retained scalar reference.
+
+The fast path must be *bit-identical* on encode (same payload bytes and
+header) and *exact* on decode for adversarial inputs: single-symbol
+streams, escape-heavy streams (more distinct values than the symbol
+table holds), all-negative bins, and real quantizer output for every
+shape in ``ROUNDTRIP_SHAPES``.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import ROUNDTRIP_SHAPES
+
+from repro.compress.huffman import (
+    _SYNC_BLOCK,
+    huffman_decode,
+    huffman_decode_scalar,
+    huffman_encode,
+    huffman_encode_scalar,
+)
+from repro.compress.lossless import decode_classes, encode_classes
+from repro.compress.mgard import MgardCompressor
+from repro.compress.plan import compression_plan, refactor_plan
+from repro.compress.quantizer import Quantizer
+from repro.core.grid import hierarchy_for
+from repro.core.refactor import Refactorer
+from repro.workloads.synthetic import multiscale
+
+
+def _adversarial_arrays(rng):
+    yield "empty", np.zeros(0, dtype=np.int64)
+    yield "single-value", np.full(1, -3, dtype=np.int64)
+    yield "single-symbol", np.full(4097, 42, dtype=np.int64)
+    yield "two-symbol", rng.choice([0, 1], 1000).astype(np.int64)
+    yield "all-negative", -np.abs(rng.integers(1, 40, 3000)).astype(np.int64)
+    yield "skewed", (rng.geometric(0.4, 20000).astype(np.int64) - 1) * rng.choice(
+        [-1, 1], 20000
+    )
+    yield "escape-heavy", rng.integers(-(2**60), 2**60, 4000).astype(np.int64)
+    yield "extremes", np.array(
+        [-(2**63), 2**63 - 1, 0, -1, 1, 2**62, -(2**62)], dtype=np.int64
+    )
+    yield "sync-boundary", np.arange(2 * _SYNC_BLOCK + 1, dtype=np.int64) % 5
+    yield "exact-sync-block", np.arange(_SYNC_BLOCK, dtype=np.int64) % 3
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("max_table", [4096, 16, 2])
+    def test_payloads_and_headers_match_scalar(self, rng, max_table):
+        for name, arr in _adversarial_arrays(rng):
+            p_fast, h_fast = huffman_encode(arr, max_table=max_table)
+            p_ref, h_ref = huffman_encode_scalar(arr, max_table=max_table)
+            assert p_fast == p_ref, (name, max_table)
+            assert h_fast == h_ref, (name, max_table)
+
+    def test_quantized_fields_all_shapes(self, rng):
+        for shape in ROUNDTRIP_SHAPES:
+            cc = Refactorer(shape).refactor(rng.standard_normal(shape))
+            bins, _, _ = Quantizer(1e-3).quantize_flat(cc)
+            p_fast, h_fast = huffman_encode(bins)
+            p_ref, h_ref = huffman_encode_scalar(bins)
+            assert p_fast == p_ref and h_fast == h_ref, shape
+            np.testing.assert_array_equal(huffman_decode(p_fast, h_fast), bins)
+
+
+class TestExactDecode:
+    def test_roundtrip_all_decoders(self, rng):
+        for name, arr in _adversarial_arrays(rng):
+            payload, header = huffman_encode(arr, max_table=64)
+            np.testing.assert_array_equal(
+                huffman_decode(payload, header), arr, err_msg=f"{name} fast"
+            )
+            np.testing.assert_array_equal(
+                huffman_decode_scalar(payload, header), arr, err_msg=f"{name} scalar"
+            )
+            # chain fallback: same payload, header without sync offsets
+            no_sync = {k: v for k, v in header.items() if k != "sync"}
+            np.testing.assert_array_equal(
+                huffman_decode(payload, no_sync), arr, err_msg=f"{name} chain"
+            )
+
+    def test_truncated_payload_detected_by_both_paths(self, rng):
+        arr = rng.integers(-5, 5, 3 * _SYNC_BLOCK).astype(np.int64)
+        payload, header = huffman_encode(arr)
+        assert "sync" in header
+        with pytest.raises(ValueError):
+            huffman_decode(payload[: len(payload) // 2], header)
+        no_sync = {k: v for k, v in header.items() if k != "sync"}
+        with pytest.raises(ValueError):
+            huffman_decode(payload[: len(payload) // 2], no_sync)
+
+    def test_negative_header_counts_rejected(self, rng):
+        arr = rng.integers(-5, 5, 100).astype(np.int64)
+        payload, header = huffman_encode(arr)
+        for key in ("n", "bits"):
+            bad = dict(header)
+            bad[key] = -3
+            with pytest.raises(ValueError):
+                huffman_decode(payload, bad)
+
+    def test_corrupt_sync_offsets_detected(self, rng):
+        arr = rng.integers(-5, 5, 3 * _SYNC_BLOCK).astype(np.int64)
+        payload, header = huffman_encode(arr)
+        bad = dict(header)
+        bad["sync"] = [o + 1 for o in header["sync"]]
+        with pytest.raises(ValueError):
+            huffman_decode(payload, bad)
+
+
+class TestBatchedClasses:
+    def test_encode_classes_roundtrip(self, rng):
+        for backend in ("zlib", "huffman"):
+            sizes = [9, 100, 0, 1, 512]
+            bins = rng.integers(-300, 300, sum(sizes)).astype(np.int64)
+            payload, header = encode_classes(bins, sizes, backend=backend)
+            flat, got = decode_classes(payload, header)
+            assert got == sizes
+            np.testing.assert_array_equal(flat, bins)
+
+    def test_size_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            encode_classes(np.zeros(5, dtype=np.int64), [2, 2])
+        payload, header = encode_classes(np.zeros(4, dtype=np.int64), [2, 2])
+        header["class_sizes"] = [2, 3]
+        with pytest.raises(ValueError):
+            decode_classes(payload, header)
+
+    def test_quantize_flat_matches_per_class(self, rng):
+        cc = Refactorer((33, 17)).refactor(rng.standard_normal((33, 17)))
+        q = Quantizer(1e-3)
+        qc = q.quantize(cc)
+        bins, sizes, steps = q.quantize_flat(cc)
+        assert steps == qc.steps
+        assert sizes == [b.size for b in qc.bins]
+        np.testing.assert_array_equal(bins, np.concatenate(qc.bins))
+        back = Quantizer.dequantize_flat(bins, sizes, steps)
+        for flat_cls, b, step in zip(back, qc.bins, qc.steps):
+            np.testing.assert_allclose(flat_cls, b.astype(np.float64) * step)
+
+    @pytest.mark.parametrize("backend", ["zlib", "huffman"])
+    def test_batched_and_per_class_blobs_interchange(self, backend):
+        shape = (65, 65)
+        data = multiscale(shape)
+        hier = hierarchy_for(shape)
+        batched = MgardCompressor(hier, 1e-3, backend=backend, batch_classes=True)
+        legacy = MgardCompressor(hier, 1e-3, backend=backend, batch_classes=False)
+        blob_b = batched.compress(data)
+        blob_l = legacy.compress(data)
+        assert len(blob_b.payloads) == 1 and "class_sizes" in blob_b.headers[0]
+        assert len(blob_l.payloads) > 1
+        # either compressor decompresses either layout within the bound
+        for comp in (batched, legacy):
+            for blob in (blob_b, blob_l):
+                assert np.abs(comp.decompress(blob) - data).max() <= 1e-3
+
+
+class TestPlanCache:
+    def test_hierarchy_cache_shares_instances(self, rng):
+        from conftest import nonuniform_coords
+
+        shape = (17, 9)
+        assert hierarchy_for(shape) is hierarchy_for(shape)
+        coords = nonuniform_coords(shape, rng)
+        assert hierarchy_for(shape, coords) is hierarchy_for(shape, coords)
+        assert hierarchy_for(shape) is not hierarchy_for(shape, coords)
+
+    def test_refactorers_share_cached_hierarchy(self):
+        assert Refactorer((33, 33)).hier is Refactorer((33, 33)).hier
+
+    def test_compression_plan_cached_and_seeded(self):
+        plan = compression_plan((33, 33), tol=1e-2)
+        assert plan is compression_plan((33, 33), tol=1e-2)
+        assert plan is not compression_plan((33, 33), tol=1e-3)
+        assert plan.refactor is refactor_plan((33, 33))
+        assert list(plan.steps) == Quantizer(1e-2).steps_for(plan.refactor.n_classes)
+
+    def test_for_shape_roundtrip(self):
+        shape = (33, 33)
+        data = multiscale(shape)
+        comp = MgardCompressor.for_shape(shape, 1e-3)
+        again = MgardCompressor.for_shape(shape, 1e-3)
+        assert comp.hier is again.hier
+        assert comp.plan is again.plan
+        blob = comp.compress(data)
+        assert np.abs(again.decompress(blob) - data).max() <= 1e-3

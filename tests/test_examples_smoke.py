@@ -6,6 +6,7 @@ as a user would (``python examples/<name>.py``) so import errors, API
 drift, or broken output formatting in the examples fail CI.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -13,17 +14,21 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 FAST_EXAMPLES = ["quickstart.py", "tiered_storage.py", "multi_gpu_scaling.py"]
 
 
 @pytest.mark.parametrize("name", FAST_EXAMPLES)
 def test_example_runs(name):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "example produced no output"
