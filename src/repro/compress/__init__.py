@@ -1,14 +1,33 @@
 """MGARD-style error-bounded lossy compression (paper Showcase V-B)."""
 
+from .executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    available_workers,
+    get_executor,
+    set_default_executor,
+)
 from .fileio import CompressedFileError, load_compressed, save_compressed
 from .huffman import (
     HuffmanCode,
+    apply_table_delta,
+    build_code,
+    code_from_table,
     huffman_decode,
     huffman_decode_scalar,
     huffman_encode,
     huffman_encode_scalar,
+    table_delta,
+    table_from_code,
 )
-from .lossless import BACKENDS, decode_bins, decode_classes, encode_bins, encode_classes
+from .lossless import (
+    BACKENDS,
+    decode_bins,
+    decode_classes,
+    encode_bins,
+    encode_classes,
+    materialize_classes_header,
+)
 from .mgard import CompressedData, MgardCompressor, StageTimes
 from .plan import (
     CompressionPlan,
@@ -30,26 +49,37 @@ __all__ = [
     "CompressionPlan",
     "HuffmanCode",
     "MgardCompressor",
+    "ParallelExecutor",
     "QuantizedClasses",
     "RDPoint",
     "Quantizer",
     "RefactorPlan",
+    "SerialExecutor",
     "StageTimes",
     "TimeSeriesCompressor",
+    "apply_table_delta",
+    "available_workers",
     "bd_rate_gain",
+    "build_code",
     "clear_plan_cache",
+    "code_from_table",
     "compression_plan",
     "decode_bins",
     "decode_classes",
     "encode_bins",
     "encode_classes",
+    "get_executor",
     "huffman_decode",
     "huffman_decode_scalar",
     "huffman_encode",
     "huffman_encode_scalar",
     "load_compressed",
+    "materialize_classes_header",
     "plan_cache_stats",
     "rate_distortion_curve",
     "refactor_plan",
     "save_compressed",
+    "set_default_executor",
+    "table_delta",
+    "table_from_code",
 ]

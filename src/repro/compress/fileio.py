@@ -32,8 +32,22 @@ def save_compressed(
     path: str | Path,
     blob: CompressedData,
     coords: tuple[np.ndarray, ...] | None = None,
+    scratch: dict | None = None,
+    materialize: bool = True,
 ) -> int:
-    """Write a :class:`CompressedData` to disk; returns bytes written."""
+    """Write a :class:`CompressedData` to disk; returns bytes written.
+
+    Blobs from a code-book-reusing stream reference tables shipped by
+    earlier steps; by default those references are *materialized*
+    (resolved against ``scratch`` — the stream's decode-side chain —
+    and inlined) so the file stays self-contained.  Stream containers
+    that keep their own chain on disk pass ``materialize=False``.
+    """
+    from .lossless import materialize_classes_header
+
+    headers = blob.headers
+    if materialize:
+        headers = [materialize_classes_header(h, scratch) for h in headers]
     extents = []
     offset = 0
     for p in blob.payloads:
@@ -44,7 +58,7 @@ def save_compressed(
         "tol": blob.tol,
         "mode": blob.mode,
         "steps": blob.steps,
-        "headers": blob.headers,
+        "headers": headers,
         "extents": extents,
         "coords": None if coords is None else [c.tolist() for c in coords],
     }

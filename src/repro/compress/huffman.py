@@ -14,6 +14,17 @@ self-contained canonical-Huffman implementation:
   fully vectorized fast path — array-mapped codeword lookup plus bulk
   bit packing on encode, and a per-length first-code canonical decode
   driven by pointer doubling on decode;
+* both directions are *block-schedulable*: pass an executor (see
+  :mod:`repro.compress.executor`) and the encoder splits the symbol
+  stream into sync-aligned blocks whose chunkify/pack phases run as
+  independent work units (the MSB-first concatenation is associative,
+  so the merged payload is bit-identical to the serial one), while the
+  decoder partitions the sync blocks across workers;
+* a code book can be supplied (``code=``) instead of rebuilt from the
+  data, which is how slowly-varying streams amortize entropy setup
+  across time steps; :func:`table_delta` / :func:`apply_table_delta`
+  express one book as a compact edit script against another so reused
+  books cost almost no header bytes;
 * :func:`huffman_encode_scalar` / :func:`huffman_decode_scalar` retain
   the original per-element/per-bit loops as cross-check references; the
   two encoders share the code-book construction and emit bit-identical
@@ -37,6 +48,12 @@ __all__ = [
     "huffman_decode",
     "huffman_encode_scalar",
     "huffman_decode_scalar",
+    "build_code",
+    "decode_tables",
+    "table_from_code",
+    "code_from_table",
+    "table_delta",
+    "apply_table_delta",
 ]
 
 _ESCAPE = object()  # sentinel symbol for out-of-table values
@@ -46,6 +63,10 @@ _ESCAPE = object()  # sentinel symbol for out-of-table values
 # block in vectorized lockstep instead of chasing the serial codeword
 # chain; real parallel entropy decoders use the same device.
 _SYNC_BLOCK = 512
+
+# a parallel decode range below this many sync blocks spends more on
+# its (fixed-count) lockstep loop than it gains from concurrency
+_MIN_DECODE_BLOCKS_PER_WORKER = 256
 
 
 class HuffmanCode:
@@ -118,16 +139,31 @@ class HuffmanCode:
         )
 
 
-def _build_code(values: np.ndarray, max_table: int) -> HuffmanCode:
+# "auto" escape reservation kicks in at this alphabet size: one
+# frequency-1 symbol among >= this many is rate noise (it displaces
+# only the rarest real symbol by one bit), while for tiny alphabets it
+# would visibly lengthen every code — there, rebuilding on the first
+# genuinely new symbol is cheaper than carrying the escape
+_RESERVE_ESCAPE_MIN_SYMS = 64
+
+
+def _build_code(
+    values: np.ndarray, max_table: int, reserve_escape: bool | str = False
+) -> HuffmanCode:
     if max_table < 2:
         raise ValueError(f"max_table must be at least 2, got {max_table}")
     syms, counts = np.unique(values, return_counts=True)
+    if reserve_escape == "auto":
+        reserve_escape = syms.size >= _RESERVE_ESCAPE_MIN_SYMS
     if syms.size == 0:
         return HuffmanCode.from_frequencies({0: 1})
-    if syms.size <= max_table:
-        return HuffmanCode.from_frequencies(
-            {int(s): int(c) for s, c in zip(syms, counts)}
-        )
+    if syms.size <= max_table - (1 if reserve_escape else 0):
+        freqs = {int(s): int(c) for s, c in zip(syms, counts)}
+        # a reserved (never-yet-used) escape lets this book absorb
+        # symbols that only appear in *later* data when it is reused
+        if reserve_escape:
+            freqs[_ESCAPE] = 1
+        return HuffmanCode.from_frequencies(freqs)
     # keep the most frequent symbols; the tail goes through ESCAPE
     order = np.argsort(-counts, kind="stable")  # ties: smaller symbol first
     keep = np.sort(order[: max_table - 1])
@@ -135,9 +171,26 @@ def _build_code(values: np.ndarray, max_table: int) -> HuffmanCode:
     freqs = {int(syms[i]): int(counts[i]) for i in keep}
     # every dropped symbol occurred at least once, so `escaped >= 1` here;
     # guard anyway so a zero-frequency ESCAPE can never skew code lengths
-    if escaped > 0:
-        freqs[_ESCAPE] = escaped
+    if escaped > 0 or reserve_escape:
+        freqs[_ESCAPE] = max(escaped, 1)
     return HuffmanCode.from_frequencies(freqs)
+
+
+def build_code(
+    values: np.ndarray, max_table: int = 4096, reserve_escape: bool | str = False
+) -> HuffmanCode:
+    """Build a canonical code book from data without encoding it.
+
+    With ``reserve_escape=True`` the book always contains an ESCAPE
+    code even when every distinct symbol fits the table, so the book
+    can later encode arrays containing symbols it has never seen — the
+    property cross-step code-book reuse relies on.  ``"auto"`` reserves
+    only for alphabets big enough that the extra symbol is rate noise;
+    reusers of escape-less books simply rebuild when a new symbol shows
+    up.
+    """
+    values = np.ascontiguousarray(values, dtype=np.int64).ravel()
+    return _build_code(values, max_table, reserve_escape=reserve_escape)
 
 
 def _header(code: HuffmanCode, n: int, total_bits: int, sync=None) -> dict:
@@ -161,33 +214,127 @@ def _lengths_from_header(header: dict) -> dict:
 
 
 # ----------------------------------------------------------------------
+# code-book (de)serialization and cross-step deltas
+
+
+def table_from_code(code: HuffmanCode) -> list:
+    """The header-form symbol/length table of a code book."""
+    return [
+        ["ESC" if s is _ESCAPE else int(s), int(ln)]
+        for s, ln in code.lengths.items()
+    ]
+
+
+def code_from_table(table: list) -> HuffmanCode:
+    """Rebuild the canonical code book from a header-form table."""
+    return HuffmanCode.from_lengths(_lengths_from_header({"table": table}))
+
+
+def _table_dict(table: list) -> dict:
+    return {("ESC" if s == "ESC" else int(s)): int(ln) for s, ln in table}
+
+
+def table_delta(ref_table: list, new_table: list) -> dict:
+    """Edit script turning ``ref_table`` into ``new_table``.
+
+    Returns ``{"set": [[sym, len], ...], "drop": [sym, ...]}`` — only
+    the symbols whose code length changed, appeared, or vanished.  For
+    slowly-varying streams this is a small fraction of the full table,
+    so rebuilt books cost few header bytes when expressed as deltas.
+    """
+    ref = _table_dict(ref_table)
+    new = _table_dict(new_table)
+    return {
+        "set": [[s, ln] for s, ln in new.items() if ref.get(s) != ln],
+        "drop": [s for s in ref if s not in new],
+    }
+
+
+def apply_table_delta(ref_table: list, delta: dict) -> list:
+    """Invert :func:`table_delta`: apply an edit script to a base table."""
+    d = _table_dict(ref_table)
+    for s in delta.get("drop", ()):
+        d.pop("ESC" if s == "ESC" else int(s), None)
+    for s, ln in delta.get("set", ()):
+        d[("ESC" if s == "ESC" else int(s))] = int(ln)
+    return [[s, ln] for s, ln in d.items()]
+
+
+# ----------------------------------------------------------------------
 # vectorized fast path
 
 
 def _code_arrays(code: HuffmanCode):
-    """Dense sorted symbol -> (code, length) arrays for vectorized lookup."""
+    """Dense sorted symbol -> (code, length) arrays for vectorized lookup.
+
+    Memoized on the code book, so a book reused across stream steps
+    pays the table sort exactly once.
+    """
+    cached = getattr(code, "_arrays", None)
+    if cached is not None:
+        return cached
     syms = sorted(s for s in code.codes if s is not _ESCAPE)
     sym_arr = np.asarray(syms, dtype=np.int64)
     code_arr = np.asarray([code.codes[s] for s in syms], dtype=np.uint64)
     len_arr = np.asarray([code.lengths[s] for s in syms], dtype=np.int64)
-    return sym_arr, code_arr, len_arr
+    code._arrays = (sym_arr, code_arr, len_arr)
+    return code._arrays
 
 
-def _pack_chunks(
-    c_codes: np.ndarray, c_lens: np.ndarray
-) -> tuple[bytes, int, np.ndarray]:
-    """MSB-first concatenation of (code, length) chunks into packed bytes.
+def _chunkify(values: np.ndarray, code: HuffmanCode):
+    """Map symbols to (code, length) chunk arrays for packing.
 
-    Word-aligned scatter: every chunk (≤ 64 bits) lands in at most two
-    big-endian 64-bit words of the output, so the whole pack is a
-    handful of vector ops over the chunk arrays plus one
-    ``bitwise_or.reduceat`` per landing word — no per-bit expansion.
+    Returns ``(c_codes, c_lens, elem_chunk, n_escaped)`` where
+    ``elem_chunk`` is the chunk index of each element's first chunk
+    (``None`` when no element escaped, i.e. chunks == elements).  This
+    is the per-block work unit of the parallel encode path.
     """
-    n_chunks = c_codes.size
-    offsets = np.zeros(n_chunks + 1, dtype=np.int64)
-    np.cumsum(c_lens, out=offsets[1:])
-    total_bits = int(offsets[-1])
-    n_words = (total_bits + 63) >> 6
+    sym_arr, code_arr, len_arr = _code_arrays(code)
+    idx = np.minimum(np.searchsorted(sym_arr, values), sym_arr.size - 1)
+    in_table = sym_arr[idx] == values
+    esc_len = code.lengths.get(_ESCAPE)
+    n_escaped = int(values.size - np.count_nonzero(in_table))
+    if n_escaped == 0:
+        return code_arr[idx], len_arr[idx], None, 0
+    if esc_len is None:
+        raise ValueError(
+            "value outside the code book and the book has no escape code; "
+            "rebuild the book (or build it with reserve_escape=True)"
+        )
+    # escapes contribute two chunks: the ESCAPE code + 64 raw bits
+    per = np.where(in_table, 1, 2).astype(np.int64)
+    starts = np.zeros(values.size, dtype=np.int64)
+    np.cumsum(per[:-1], out=starts[1:])
+    n_chunks = int(starts[-1] + per[-1])
+    c_codes = np.empty(n_chunks, dtype=np.uint64)
+    c_lens = np.empty(n_chunks, dtype=np.int64)
+    it = starts[in_table]
+    c_codes[it] = code_arr[idx[in_table]]
+    c_lens[it] = len_arr[idx[in_table]]
+    ep = starts[~in_table]
+    c_codes[ep] = np.uint64(code.codes[_ESCAPE])
+    c_lens[ep] = esc_len
+    c_codes[ep + 1] = values[~in_table].astype(np.uint64)  # two's complement
+    c_lens[ep + 1] = 64
+    return c_codes, c_lens, starts, n_escaped
+
+
+def _pack_chunks_words(
+    c_codes: np.ndarray, c_lens: np.ndarray, offsets: np.ndarray
+) -> np.ndarray:
+    """MSB-first scatter of (code, length) chunks into 64-bit words.
+
+    Word-aligned: every chunk (≤ 64 bits) lands in at most two
+    big-endian 64-bit words, so the whole pack is a handful of vector
+    ops over the chunk arrays plus one ``bitwise_or.reduceat`` per
+    landing word — no per-bit expansion.  ``offsets`` is the chunk
+    bit-position prefix sum (size ``n_chunks + 1``; callers already
+    have it); ``offsets[0]`` (< 64) offsets the first chunk inside
+    word 0, which is how a block whose global bit position is mid-word
+    packs locally and still merges into the stream with a plain OR.
+    """
+    total_end = int(offsets[-1])
+    n_words = (total_end + 63) >> 6
     buf = np.zeros(n_words + 1, dtype=np.uint64)  # +1 spill word
 
     w0 = offsets[:-1] >> 6
@@ -204,11 +351,95 @@ def _pack_chunks(
     idx = w0[starts]
     buf[idx] |= np.bitwise_or.reduceat(part0, starts)
     buf[idx + 1] |= np.bitwise_or.reduceat(part1, starts)
+    return buf
+
+
+def _pack_chunks(
+    c_codes: np.ndarray, c_lens: np.ndarray
+) -> tuple[bytes, int, np.ndarray]:
+    """Pack chunks into payload bytes; returns (payload, bits, offsets)."""
+    offsets = np.zeros(c_codes.size + 1, dtype=np.int64)
+    np.cumsum(c_lens, out=offsets[1:])
+    total_bits = int(offsets[-1])
+    buf = _pack_chunks_words(c_codes, c_lens, offsets)
+    n_words = (total_bits + 63) >> 6
     payload = buf[:n_words].astype(">u8").tobytes()[: (total_bits + 7) >> 3]
     return payload, total_bits, offsets[:-1]
 
 
-def huffman_encode(values: np.ndarray, max_table: int = 4096) -> tuple[bytes, dict]:
+# symbols per schedulable encode block (a multiple of _SYNC_BLOCK, so
+# block boundaries coincide with sync points and the merged header's
+# sync offsets match the serial encoder's exactly)
+_BLOCK_SYMBOLS = 64 * _SYNC_BLOCK
+
+
+def _guard_exceeded(guard: dict, n: int, total_bits: int) -> bool:
+    max_bps = guard.get("max_bits_per_symbol")
+    return max_bps is not None and total_bits > max_bps * n + 1e-9
+
+
+def _encode_blocks(values, code, executor, stats=None, guard=None):
+    """Block-parallel encode: chunkify and pack sync-aligned blocks.
+
+    Fan-out/merge structure: (1) map ``_chunkify`` over symbol blocks,
+    (2) a serial prefix sum turns per-block bit counts into global bit
+    positions, (3) map the word-aligned pack over blocks at their
+    (mod-64) start shift, (4) OR the word buffers together.  MSB-first
+    concatenation is associative, so the result is bit-identical to the
+    single-shot path for any executor.
+    """
+    n = values.size
+    bounds = list(range(0, n, _BLOCK_SYMBOLS)) + [n]
+    blocks = [values[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
+    chunked = executor.map(lambda v: _chunkify(v, code), blocks)
+    if stats is not None:
+        stats["n_symbols"] = int(n)
+        stats["n_escaped"] = int(sum(c[3] for c in chunked))
+
+    # global bit position of every block and of every element
+    block_bits = np.zeros(len(blocks) + 1, dtype=np.int64)
+    elem_bits_local = []
+    block_offs = []
+    for i, (c_codes, c_lens, elem_chunk, _) in enumerate(chunked):
+        offs = np.zeros(c_lens.size + 1, dtype=np.int64)
+        np.cumsum(c_lens, out=offs[1:])
+        elem_bits_local.append(offs[:-1] if elem_chunk is None else offs[elem_chunk])
+        block_offs.append(offs)
+        block_bits[i + 1] = offs[-1]
+    block_start = np.cumsum(block_bits)[:-1]
+    total_bits = int(block_start[-1] + block_bits[-1])
+    if guard is not None and _guard_exceeded(guard, n, total_bits):
+        return None, None
+    elem_bits = np.concatenate(
+        [loc + start for loc, start in zip(elem_bits_local, block_start)]
+    )
+    sync = elem_bits[_SYNC_BLOCK::_SYNC_BLOCK]
+
+    def pack_one(i: int):
+        c_codes, c_lens, _, _ = chunked[i]
+        start = int(block_start[i])
+        return start >> 6, _pack_chunks_words(
+            c_codes, c_lens, block_offs[i] + (start & 63)
+        )
+
+    packed = executor.map(pack_one, range(len(blocks)))
+    n_words = (total_bits + 63) >> 6
+    out = np.zeros(n_words + 1, dtype=np.uint64)
+    for w0, buf in packed:
+        out[w0 : w0 + buf.size] |= buf
+    payload = out[:n_words].astype(">u8").tobytes()[: (total_bits + 7) >> 3]
+    return payload, _header(code, n, total_bits, sync)
+
+
+def huffman_encode(
+    values: np.ndarray,
+    max_table: int = 4096,
+    *,
+    code: HuffmanCode | None = None,
+    executor=None,
+    stats: dict | None = None,
+    guard: dict | None = None,
+):
     """Encode an int64 array; returns (payload, header).
 
     The header carries the canonical code book as plain Python data
@@ -216,38 +447,53 @@ def huffman_encode(values: np.ndarray, max_table: int = 4096) -> tuple[bytes, di
     format would serialize alongside the payload.  This is the
     vectorized fast path; it emits payloads bit-identical to
     :func:`huffman_encode_scalar`.
+
+    Parameters
+    ----------
+    code:
+        Encode with this (externally built, e.g. cached from a previous
+        stream step) code book instead of building one from the data.
+        The book needs an escape code to cover symbols it has not seen.
+    executor:
+        Schedule sync-aligned symbol blocks through this executor (see
+        :mod:`repro.compress.executor`); the payload is bit-identical
+        to the serial path.
+    stats:
+        Optional dict that receives ``n_symbols`` / ``n_escaped`` — the
+        signal reuse policies watch to decide when a stale book must be
+        rebuilt.
+    guard:
+        Optional reuse guard ``{"max_bits_per_symbol": b}``.  Checked
+        right after the (cheap) symbol-mapping phase, *before* any bits
+        are packed; when the would-be payload exceeds the bound (or the
+        book lacks an escape for a new symbol) the call returns
+        ``(None, None)`` so the caller can rebuild the book without
+        having paid for a wasted encode.
     """
     values = np.ascontiguousarray(values, dtype=np.int64).ravel()
     if values.size == 0:
         return b"", {"n": 0, "bits": 0, "table": []}
-    code = _build_code(values, max_table)
-    sym_arr, code_arr, len_arr = _code_arrays(code)
-    idx = np.minimum(np.searchsorted(sym_arr, values), sym_arr.size - 1)
-    in_table = sym_arr[idx] == values
-    esc_len = code.lengths.get(_ESCAPE)
-    elem_chunk = None  # chunk index of each element's first chunk
-    if esc_len is None:
-        if not in_table.all():
-            raise AssertionError("value outside table but no escape code")
-        c_codes = code_arr[idx]
-        c_lens = len_arr[idx]
-    else:
-        # escapes contribute two chunks: the ESCAPE code + 64 raw bits
-        per = np.where(in_table, 1, 2).astype(np.int64)
-        starts = np.zeros(values.size, dtype=np.int64)
-        np.cumsum(per[:-1], out=starts[1:])
-        n_chunks = int(starts[-1] + per[-1])
-        c_codes = np.empty(n_chunks, dtype=np.uint64)
-        c_lens = np.empty(n_chunks, dtype=np.int64)
-        it = starts[in_table]
-        c_codes[it] = code_arr[idx[in_table]]
-        c_lens[it] = len_arr[idx[in_table]]
-        ep = starts[~in_table]
-        c_codes[ep] = np.uint64(code.codes[_ESCAPE])
-        c_lens[ep] = esc_len
-        c_codes[ep + 1] = values[~in_table].astype(np.uint64)  # two's complement
-        c_lens[ep + 1] = 64
-        elem_chunk = starts
+    if code is None:
+        code = _build_code(values, max_table)
+    try:
+        if (
+            executor is not None
+            and getattr(executor, "max_workers", 1) > 1
+            and values.size >= 2 * _BLOCK_SYMBOLS
+        ):
+            return _encode_blocks(values, code, executor, stats, guard)
+        c_codes, c_lens, elem_chunk, n_escaped = _chunkify(values, code)
+    except ValueError:
+        if guard is not None:
+            # out-of-table symbol and the book has no escape: under a
+            # reuse guard that simply means "rebuild the book"
+            return None, None
+        raise
+    if stats is not None:
+        stats["n_symbols"] = int(values.size)
+        stats["n_escaped"] = n_escaped
+    if guard is not None and _guard_exceeded(guard, values.size, int(c_lens.sum())):
+        return None, None
     payload, total_bits, offsets = _pack_chunks(c_codes, c_lens)
     elem_bits = offsets if elem_chunk is None else offsets[elem_chunk]
     sync = elem_bits[_SYNC_BLOCK::_SYNC_BLOCK]
@@ -323,13 +569,27 @@ def _windows_at(words: np.ndarray, p: np.ndarray) -> np.ndarray:
     return (words[wi] << r) | ((words[wi + 1] >> (np.uint64(63) - r)) >> np.uint64(1))
 
 
-def huffman_decode(payload: bytes, header: dict) -> np.ndarray:
+def decode_tables(code: HuffmanCode) -> "_DecodeTables":
+    """Precompute the canonical decode tables of one code book.
+
+    Pass the result to :func:`huffman_decode` as ``tables=`` to skip
+    the per-call table construction — how a stream decoder amortizes a
+    code book reused across steps.
+    """
+    return _DecodeTables(code)
+
+
+def huffman_decode(
+    payload: bytes, header: dict, *, executor=None, tables=None
+) -> np.ndarray:
     """Invert :func:`huffman_encode` (vectorized fast path).
 
     Canonical decoding normally walks the bit stream serially.  When the
     header carries sync offsets (one per :data:`_SYNC_BLOCK` symbols —
     any payload our encoders emit), the fast path runs one cursor per
-    block in vectorized lockstep.  Headers without sync fall back to a
+    block in vectorized lockstep; an ``executor`` partitions the blocks
+    into contiguous runs decoded as independent work units (the output
+    is identical either way).  Headers without sync fall back to a
     whole-stream classification: "if a codeword started at bit ``p``,
     which (length, symbol) would it be?", with the actual codeword-start
     chain ``p -> p + len(p)`` resolved by pointer doubling — still pure
@@ -345,15 +605,18 @@ def huffman_decode(payload: bytes, header: dict) -> np.ndarray:
         raise ValueError(f"corrupt Huffman header: negative bit count {total}")
     if len(payload) < (total + 7) >> 3:
         raise ValueError("truncated Huffman payload")
-    code = HuffmanCode.from_lengths(_lengths_from_header(header))
-    tables = _DecodeTables(code)
+    if tables is None:
+        code = HuffmanCode.from_lengths(_lengths_from_header(header))
+        tables = _DecodeTables(code)
     sync = header.get("sync")
     if sync and len(sync) + 1 == -(-n // _SYNC_BLOCK):
-        return _decode_sync(payload, n, total, tables, sync)
+        return _decode_sync(payload, n, total, tables, sync, executor)
     return _decode_chain(payload, n, total, tables)
 
 
-def _decode_sync(payload, n, total, tables: _DecodeTables, sync) -> np.ndarray:
+def _decode_sync(
+    payload, n, total, tables: _DecodeTables, sync, executor=None
+) -> np.ndarray:
     """Lockstep decode: one cursor per sync block, advanced together."""
     words = _payload_words(payload, total)
     n_blocks = len(sync) + 1
@@ -366,6 +629,34 @@ def _decode_sync(payload, n, total, tables: _DecodeTables, sync) -> np.ndarray:
     if np.any(starts > total) or np.any(np.diff(starts) < 0):
         raise ValueError("corrupt Huffman payload: bad sync offsets")
     rem = n - (n_blocks - 1) * _SYNC_BLOCK  # symbols in the last block
+    workers = getattr(executor, "max_workers", 1) if executor is not None else 1
+    # every range pays the full _SYNC_BLOCK-iteration lockstep loop, so
+    # splitting only pays off when each worker keeps wide vectors; keep
+    # at least _MIN_DECODE_BLOCKS_PER_WORKER blocks per range
+    workers = min(workers, n_blocks // _MIN_DECODE_BLOCKS_PER_WORKER)
+    if workers > 1:
+        cuts = np.linspace(0, n_blocks, workers + 1).astype(int)
+
+        def run(a: int, b: int) -> np.ndarray:
+            r = rem if b == n_blocks else _SYNC_BLOCK
+            return _decode_sync_range(
+                words, starts[a:b], ends[a:b], r, total, tables
+            )
+
+        parts = executor.map(run, cuts[:-1], cuts[1:])
+        return np.concatenate(parts)
+    return _decode_sync_range(words, starts, ends, rem, total, tables)
+
+
+def _decode_sync_range(
+    words, starts, ends, rem, total, tables: _DecodeTables
+) -> np.ndarray:
+    """Lockstep-decode one contiguous run of sync blocks.
+
+    Every block holds :data:`_SYNC_BLOCK` symbols except the last of
+    the run, which holds ``rem``.
+    """
+    n_blocks = len(starts)
     out = np.empty((n_blocks, _SYNC_BLOCK), dtype=np.int64)
     pos = starts.copy()
     esc_flat, esc_len = tables.esc_flat, tables.esc_len

@@ -104,6 +104,11 @@ class MgardCompressor:
         Optional :class:`~repro.compress.plan.CompressionPlan`; when
         given, the quantizer step budget comes pre-resolved from the
         plan cache.  Prefer :meth:`for_shape` which wires this up.
+    executor:
+        Executor (instance or spec string) scheduling the entropy
+        stage's per-class segments and Huffman blocks; defaults to the
+        plan's executor, else the ambient default.  The emitted bytes
+        do not depend on this choice.
     """
 
     def __init__(
@@ -116,7 +121,10 @@ class MgardCompressor:
         quantize_on_gpu: bool = True,
         batch_classes: bool = True,
         plan=None,
+        executor=None,
     ):
+        from .executor import get_executor
+
         self.hier = hier
         self.plan = plan
         if plan is not None:
@@ -125,6 +133,12 @@ class MgardCompressor:
         else:
             self.quantizer = Quantizer(tol, mode=mode)
             self.backend = backend
+        if executor is None:
+            self.executor = plan.get_executor() if plan is not None else get_executor()
+        elif isinstance(executor, str):
+            self.executor = get_executor(executor)
+        else:
+            self.executor = executor
         self.engine = engine if engine is not None else NumpyEngine()
         self.quantize_on_gpu = quantize_on_gpu
         self.batch_classes = batch_classes
@@ -137,24 +151,44 @@ class MgardCompressor:
         mode: str = "level",
         backend: str = "zlib",
         coords=None,
+        executor: str | None = None,
         **kwargs,
     ) -> "MgardCompressor":
         """A compressor built from the shared plan cache.
 
         Repeated calls with the same (shape, coords, tol, mode, backend)
         reuse the cached hierarchy (Cholesky factors and all) and the
-        cached quantizer budget, so per-call setup is O(1).
+        cached quantizer budget, so per-call setup is O(1).  ``executor``
+        is the plan's executor spec (``"serial"``, ``"parallel"``, …).
         """
         from .plan import compression_plan
 
-        plan = compression_plan(shape, tol, mode=mode, backend=backend, coords=coords)
+        plan = compression_plan(
+            shape, tol, mode=mode, backend=backend, coords=coords, executor=executor
+        )
         return cls(
             plan.hier, tol, mode=mode, backend=backend, plan=plan, **kwargs
         )
 
     # ------------------------------------------------------------------
-    def compress(self, data: np.ndarray) -> CompressedData:
-        """Compress ``data`` with the configured error bound."""
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        scratch: dict | None = None,
+        refresh_codebooks: bool = False,
+        codebook_context: str = "default",
+    ) -> CompressedData:
+        """Compress ``data`` with the configured error bound.
+
+        ``scratch`` (conventionally a
+        :meth:`CompressionPlan.scratch_area`) enables cross-call
+        Huffman code-book reuse in the entropy stage;
+        ``refresh_codebooks=True`` forces a full-table rebuild (key
+        frames), and ``codebook_context`` separates reuse chains whose
+        statistics differ by construction (key frames vs temporal
+        residuals).  All three require ``batch_classes``.
+        """
         times = StageTimes()
         t0 = time.perf_counter()
         refactored = decompose(data, self.hier, self.engine)
@@ -167,7 +201,15 @@ class MgardCompressor:
             times.quantize_wall = time.perf_counter() - t0
 
             t0 = time.perf_counter()
-            payload, header = encode_classes(bins, sizes, backend=self.backend)
+            payload, header = encode_classes(
+                bins,
+                sizes,
+                backend=self.backend,
+                executor=self.executor,
+                scratch=scratch,
+                refresh=refresh_codebooks,
+                context=codebook_context,
+            )
             payloads, headers = [payload], [header]
             times.entropy_wall = time.perf_counter() - t0
         else:
@@ -195,11 +237,16 @@ class MgardCompressor:
             times=times,
         )
 
-    def decompress(self, blob: CompressedData) -> np.ndarray:
+    def decompress(
+        self, blob: CompressedData, *, scratch: dict | None = None
+    ) -> np.ndarray:
         """Invert :meth:`compress` (up to the error bound).
 
         Accepts both payload layouts: one payload per class, or the
-        batched single payload whose header carries ``class_sizes``.
+        batched single payload whose header carries ``class_sizes``
+        (segmented or pre-segmentation).  ``scratch`` resolves code-book
+        references of blobs encoded with cross-call reuse; such blobs
+        must be decoded in stream order from their last key frame.
         """
         if blob.shape != self.hier.shape:
             raise ValueError(
@@ -210,7 +257,12 @@ class MgardCompressor:
         times = StageTimes()
         if batched:
             t0 = time.perf_counter()
-            flat, got_sizes = decode_classes(blob.payloads[0], blob.headers[0])
+            flat, got_sizes = decode_classes(
+                blob.payloads[0],
+                blob.headers[0],
+                executor=self.executor,
+                scratch=scratch,
+            )
             times.entropy_wall = time.perf_counter() - t0
 
             t0 = time.perf_counter()

@@ -15,6 +15,14 @@ For slowly-varying fields the residuals are small and quantize to
 near-zero bins, so the stream compresses far better than independent
 frames at the same L∞ bound — which tests assert.  Key frames can be
 re-inserted periodically to bound random-access cost.
+
+Entropy setup is amortized the same way the signal is: with the
+``huffman`` backend the compressor keeps each class's code book in a
+:meth:`~repro.compress.plan.CompressionPlan.scratch_area` and *reuses*
+it across steps (non-key steps ship a one-integer ``table_ref`` — or a
+compact ``table_delta`` when the stream drifts — instead of a full
+table), with a full-table refresh keyed to key frames.  The decoder
+replays the chain, so frames decode in stream order from any key frame.
 """
 
 from __future__ import annotations
@@ -67,6 +75,19 @@ class TimeSeriesCompressor:
         A key frame every this many frames (1 = all independent).
     mode / backend:
         Passed through to the spatial :class:`MgardCompressor`.
+    executor:
+        Executor (spec string or instance) for the entropy stage's
+        per-class/per-block fan-out.
+    reuse_codebooks:
+        Reuse Huffman code books across steps (ignored for zlib, which
+        has no per-stream setup to amortize).
+    stream_tag:
+        Key of this stream's :meth:`CompressionPlan.scratch_area`
+        inside the (globally cached) plan — a writer that tags the
+        area with its output path can resume its code-book chain after
+        being reopened in the same process.  Untagged compressors keep
+        a private per-instance scratch instead, so anonymous streams
+        neither accumulate in the plan cache nor alias each other.
     """
 
     def __init__(
@@ -76,32 +97,90 @@ class TimeSeriesCompressor:
         key_interval: int = 16,
         mode: str = "level",
         backend: str = "zlib",
+        executor=None,
+        reuse_codebooks: bool = True,
+        stream_tag: str | None = None,
     ):
         if key_interval < 1:
             raise ValueError("key_interval must be >= 1")
         self.hier = hier
         self.tol = float(tol)
         self.key_interval = key_interval
-        self._spatial = MgardCompressor(hier, tol, mode=mode, backend=backend)
+        self._spatial = MgardCompressor(
+            hier, tol, mode=mode, backend=backend, executor=executor
+        )
+        self.reuse_codebooks = bool(reuse_codebooks) and backend == "huffman"
+        if not self.reuse_codebooks:
+            self._scratch = None
+        elif stream_tag is not None:
+            from .plan import compression_plan
+
+            plan = compression_plan(hier.shape, tol, mode=mode, backend=backend)
+            self._scratch = plan.scratch_area(stream_tag)
+        else:
+            self._scratch = {}
+        self._prev_recon: np.ndarray | None = None
+        self._t = 0
+        self._rebase_delta = False
 
     # ------------------------------------------------------------------
+    @property
+    def n_appended(self) -> int:
+        """Steps appended since construction / the last :meth:`reset`."""
+        return self._t
+
+    def reset(self) -> None:
+        """Restart the prediction loop (the next frame is a key frame)."""
+        self._prev_recon = None
+        self._t = 0
+        self._rebase_delta = False
+
+    def append(self, frame: np.ndarray) -> tuple[CompressedData, bool]:
+        """Compress one more step of the stream; returns (blob, is_key).
+
+        This is the producer-side incremental API: a running simulation
+        appends steps as they are computed, and the compressor keeps the
+        closed prediction loop and the code-book chain across calls.
+        """
+        if frame.shape != self.hier.shape:
+            raise ValueError(
+                f"frame {self._t} has shape {frame.shape}, expected {self.hier.shape}"
+            )
+        is_key = self._prev_recon is None or self._t % self.key_interval == 0
+        target = frame if is_key else frame - self._prev_recon
+        # key frames and temporal residuals have very different bin
+        # statistics, so each keeps its own code-book chain; both chains
+        # re-base (full tables) once per key interval, which also keeps
+        # every table_ref resolvable from the nearest key frame — the
+        # random-access granularity closed-loop prediction has anyway
+        if is_key:
+            context, refresh = "key", True
+            self._rebase_delta = True
+        else:
+            context, refresh = "delta", self._rebase_delta
+            self._rebase_delta = False
+        blob = self._spatial.compress(
+            np.ascontiguousarray(target),
+            scratch=self._scratch,
+            refresh_codebooks=refresh,
+            codebook_context=context,
+        )
+        recon_target = self._spatial.decompress(blob, scratch=self._scratch)
+        self._prev_recon = (
+            recon_target if is_key else self._prev_recon + recon_target
+        )
+        self._t += 1
+        return blob, is_key
+
     def compress(self, frames: list[np.ndarray]) -> CompressedSeries:
         """Compress a frame sequence with closed-loop temporal prediction."""
         if not frames:
             raise ValueError("need at least one frame")
+        self.reset()
         blobs: list[CompressedData] = []
         keys: list[bool] = []
-        prev_recon: np.ndarray | None = None
-        for t, frame in enumerate(frames):
-            if frame.shape != self.hier.shape:
-                raise ValueError(
-                    f"frame {t} has shape {frame.shape}, expected {self.hier.shape}"
-                )
-            is_key = prev_recon is None or t % self.key_interval == 0
-            target = frame if is_key else frame - prev_recon
-            blob = self._spatial.compress(np.ascontiguousarray(target))
-            recon_target = self._spatial.decompress(blob)
-            prev_recon = recon_target if is_key else prev_recon + recon_target
+        for frame in frames:
+            blob, is_key = self.append(frame)
             blobs.append(blob)
             keys.append(is_key)
         return CompressedSeries(
@@ -114,8 +193,9 @@ class TimeSeriesCompressor:
             raise ValueError("series was compressed for a different grid")
         out: list[np.ndarray] = []
         prev: np.ndarray | None = None
+        scratch: dict = {}  # rebuilt code-book chain, local to this pass
         for blob, is_key in zip(series.frames, series.is_key):
-            delta = self._spatial.decompress(blob)
+            delta = self._spatial.decompress(blob, scratch=scratch)
             frame = delta if is_key else prev + delta
             out.append(frame)
             prev = frame

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster.node import DESKTOP, NodeSpec, SUMMIT_NODE, node_speedup
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from ..gpu.analytic import model_pass_shape
 from ..gpu.memory import refactoring_footprint
 from .common import format_table
@@ -54,7 +54,7 @@ def table5_end_to_end(
     rows = []
     shapes = [(n, n) for n in sides_2d] + [(n, n, n) for n in sides_3d]
     for shape in shapes:
-        fp = refactoring_footprint(TensorHierarchy.from_shape(shape))
+        fp = refactoring_footprint(hierarchy_for(shape))
         rows.append(
             Table5Row(
                 shape=shape,

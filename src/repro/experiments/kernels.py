@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.grid import TensorHierarchy
+from ..core.grid import TensorHierarchy, hierarchy_for
 from ..gpu.cost import KernelLaunch, cpu_kernel_time, gpu_kernel_time
 from ..gpu.device import CpuSpec, DeviceSpec, I7_9700K_CORE, POWER9_CORE, RTX2080TI, V100
 from ..kernels import launches as L
@@ -65,7 +65,7 @@ def fig7_mass_throughput(
     Throughput is useful bytes (read + write of the level grid) over
     modeled kernel time, like the paper's GB/s axis.
     """
-    hier = TensorHierarchy.from_shape((side, side))
+    hier = hierarchy_for((side, side))
     out = []
     for l in range(hier.L, 0, -1):
         recs = _mass_records(hier, l)
@@ -153,7 +153,7 @@ def kernel_speedups(
     benchmarking exposes; the end-to-end pipeline (Tables IV/V) reuses
     buffers and does not pay it.
     """
-    hier = TensorHierarchy.from_shape(shape)
+    hier = hierarchy_for(shape)
     dims = f"{len(shape)}D"
     cpu_overhead = cpu.kernel_call_overhead_us * 1e-6
     per_kernel: dict[str, list[float]] = {}

@@ -16,7 +16,7 @@ from ..cluster.scaling import shape_for_bytes_2d, weak_scaling
 from ..gpu.analytic import model_pass_shape
 from ..gpu.device import I7_9700K_CORE, POWER9_CORE, RTX2080TI, V100
 from ..gpu.memory import refactoring_footprint
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from ..gpu.streams import stream_sweep
 from .common import format_table
 
@@ -69,7 +69,7 @@ def _table5(shape, node="summit", op="decompose"):
 
 
 def _extra_mem_pct(shape):
-    return 100.0 * refactoring_footprint(TensorHierarchy.from_shape(shape)).extra_fraction
+    return 100.0 * refactoring_footprint(hierarchy_for(shape)).extra_fraction
 
 
 def _fig9(dims, op):

@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..compress.mgard import MgardCompressor
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from ..gpu.device import CpuSpec, DeviceSpec, POWER9_CORE, V100
 from ..io.workflow import WorkflowPoint, model_workflow, run_workflow_demo
 from ..workloads.grayscott import simulate
@@ -128,7 +128,7 @@ def fig11_mgard(
     data = simulate(shape, steps=steps, params="spots")
     rng = float(data.max() - data.min()) or 1.0
     tol = tol_rel * rng
-    hier = TensorHierarchy.from_shape(shape)
+    hier = hierarchy_for(shape)
     gpu_opts = EngineOptions(n_streams=8 if len(shape) >= 3 else 1)
     rows = []
     for tag, engine in (

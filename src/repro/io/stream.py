@@ -11,11 +11,29 @@ directory:
   concurrent reader never sees a half-written step);
 * :class:`StepStreamReader` — lists/loads steps, reading only the class
   prefix a consumer's accuracy needs (via the s-norm hint recorded by
-  the producer).
+  the producer), and :meth:`StepStreamReader.refresh`-ing its manifest
+  to follow a producer that is still appending.
 
 The manifest stores per-step metadata (shape, class byte sizes, s-norm
 truncation estimates) so a consumer can choose its prefix *before*
 touching the heavy payload — the Figure-1 "hint" across time.
+
+Two stream modes share the directory layout:
+
+``refactored`` (default)
+    Steps are stored as raw refactored-class containers supporting
+    partial (class-prefix) reads.
+
+``compressed`` (pass ``tol=``)
+    Steps go through the error-bounded time-series compressor:
+    closed-loop temporal prediction, key frames every ``key_interval``
+    steps, and — with the ``huffman`` backend — cross-step code-book
+    reuse through the shared compression plan's scratch (non-key steps
+    reference the books shipped at the last key frame instead of
+    re-serializing them).  Step files keep those references *on disk*;
+    the reader replays the chain from the nearest key frame, which is
+    exactly the random-access granularity closed-loop prediction has
+    anyway.
 """
 
 from __future__ import annotations
@@ -26,6 +44,8 @@ from pathlib import Path
 
 import numpy as np
 
+from ..compress.fileio import load_compressed, save_compressed
+from ..compress.timeseries import TimeSeriesCompressor
 from ..core.classes import CoefficientClasses, reconstruct_from_classes
 from ..core.grid import TensorHierarchy, hierarchy_for
 from ..core.refactor import Refactorer
@@ -42,12 +62,51 @@ class StreamError(RuntimeError):
 
 
 class StepStreamWriter:
-    """Producer side: append refactored time steps to a directory."""
+    """Producer side: append time steps to a directory.
 
-    def __init__(self, root: str | Path, shape: tuple[int, ...]):
+    Parameters
+    ----------
+    root / shape:
+        Stream directory and the per-step grid shape.
+    tol:
+        Selects the ``compressed`` mode: per-step absolute L∞ error
+        bound.  ``None`` (default) keeps the raw ``refactored`` mode.
+    backend / key_interval / mode:
+        Compressed-mode settings, passed to
+        :class:`~repro.compress.timeseries.TimeSeriesCompressor`.
+    executor:
+        Executor spec or instance scheduling the encode fan-out.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        shape: tuple[int, ...],
+        *,
+        tol: float | None = None,
+        backend: str = "huffman",
+        key_interval: int = 16,
+        mode: str = "level",
+        executor=None,
+        reuse_codebooks: bool = True,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.refactorer = Refactorer(tuple(shape))
+        self.stream_mode = "refactored" if tol is None else "compressed"
+        self._backend = backend
+        self._compressor: TimeSeriesCompressor | None = None
+        if tol is not None:
+            self._compressor = TimeSeriesCompressor(
+                hierarchy_for(tuple(shape)),
+                tol,
+                key_interval=key_interval,
+                mode=mode,
+                backend=backend,
+                executor=executor,
+                reuse_codebooks=reuse_codebooks,
+                stream_tag=str(self.root.resolve()),
+            )
         self._manifest_path = self.root / _MANIFEST
         if self._manifest_path.exists():
             manifest = json.loads(self._manifest_path.read_text())
@@ -55,15 +114,39 @@ class StepStreamWriter:
                 raise StreamError(
                     f"stream at {root} has shape {manifest['shape']}, not {shape}"
                 )
+            existing_mode = manifest.get("mode", "refactored")
+            if existing_mode != self.stream_mode:
+                raise StreamError(
+                    f"stream at {root} is {existing_mode!r}, writer asked for "
+                    f"{self.stream_mode!r}"
+                )
+            if self._compressor is not None:
+                # steps already on disk were encoded under these
+                # settings; silently rewriting them in the manifest
+                # would misdescribe every earlier step
+                for key, got in (
+                    ("tol", self._compressor.tol),
+                    ("key_interval", self._compressor.key_interval),
+                    ("backend", backend),
+                ):
+                    want = manifest.get(key)
+                    if want is not None and want != got:
+                        raise StreamError(
+                            f"stream at {root} was written with {key}={want!r}, "
+                            f"writer asked for {got!r}"
+                        )
             self._steps = manifest["steps"]
         else:
             self._steps = []
             self._flush_manifest(shape)
 
     def _flush_manifest(self, shape) -> None:
-        payload = json.dumps(
-            {"shape": list(shape), "steps": self._steps}, indent=1
-        )
+        doc = {"shape": list(shape), "mode": self.stream_mode, "steps": self._steps}
+        if self._compressor is not None:
+            doc["tol"] = self._compressor.tol
+            doc["key_interval"] = self._compressor.key_interval
+            doc["backend"] = self._backend
+        payload = json.dumps(doc, indent=1)
         tmp = self._manifest_path.with_suffix(".tmp")
         tmp.write_text(payload)
         os.replace(tmp, self._manifest_path)  # atomic on POSIX
@@ -73,7 +156,9 @@ class StepStreamWriter:
         return len(self._steps)
 
     def append(self, field: np.ndarray, time: float | None = None) -> int:
-        """Refactor and persist one step; returns its index."""
+        """Persist one step (refactor or compress); returns its index."""
+        if self._compressor is not None:
+            return self._append_compressed(field, time)
         cc = self.refactorer.refactor(field)
         idx = len(self._steps)
         name = f"step_{idx:06d}.rprc"
@@ -94,6 +179,26 @@ class StepStreamWriter:
         self._flush_manifest(self.refactorer.shape)
         return idx
 
+    def _append_compressed(self, field: np.ndarray, time: float | None) -> int:
+        blob, is_key = self._compressor.append(field)
+        idx = len(self._steps)
+        name = f"step_{idx:06d}.mgz"
+        tmp = self.root / (name + ".tmp")
+        # keep code-book references as written: the stream directory is
+        # the unit of self-containment, not the individual step file
+        nbytes = save_compressed(tmp, blob, materialize=False)
+        os.replace(tmp, self.root / name)
+        self._steps.append(
+            {
+                "file": name,
+                "time": time,
+                "is_key": bool(is_key),
+                "nbytes": int(nbytes),
+            }
+        )
+        self._flush_manifest(self.refactorer.shape)
+        return idx
+
 
 class StepStreamReader:
     """Consumer side: read steps (or prefixes of them) from a stream."""
@@ -105,15 +210,44 @@ class StepStreamReader:
             raise StreamError(f"no stream manifest at {self.root}")
         manifest = json.loads(path.read_text())
         self.shape = tuple(manifest["shape"])
+        self.stream_mode = manifest.get("mode", "refactored")
+        self.tol = manifest.get("tol")
         self.steps = manifest["steps"]
         self.hier = hierarchy_for(self.shape)
+        # compressed-mode incremental decode state
+        self._spatial = None
+        self._pos: int | None = None
+        self._prev: np.ndarray | None = None
+        self._scratch: dict = {}
 
     @property
     def n_steps(self) -> int:
         return len(self.steps)
 
+    def refresh(self) -> int:
+        """Re-read the manifest to pick up steps appended since open.
+
+        The producer replaces the manifest atomically, so a reader
+        polling behind a live simulation always sees a consistent
+        prefix.  Returns the new step count.  Already-decoded state is
+        kept — existing steps are immutable.
+        """
+        path = self.root / _MANIFEST
+        if not path.exists():
+            raise StreamError(f"no stream manifest at {self.root}")
+        manifest = json.loads(path.read_text())
+        if tuple(manifest["shape"]) != self.shape:
+            raise StreamError(f"stream at {self.root} changed shape underneath us")
+        self.steps = manifest["steps"]
+        return len(self.steps)
+
     def classes_needed(self, step: int, tol: float) -> int:
         """Prefix length meeting ``tol`` — decided from the manifest only."""
+        if self.stream_mode != "refactored":
+            raise StreamError(
+                "class-prefix hints need a 'refactored' stream; this one is "
+                f"{self.stream_mode!r} (use read_step)"
+            )
         meta = self._meta(step)
         for k, est in enumerate(meta["truncation_estimates"], start=1):
             if est <= tol:
@@ -124,8 +258,14 @@ class StepStreamReader:
         """Reconstruct a step from its first ``k`` classes.
 
         Pass ``tol`` instead of ``k`` to let the manifest hint choose.
-        Returns ``(field, bytes_read)``.
+        Returns ``(field, bytes_read)``.  Refactored-mode streams only;
+        compressed streams decode whole steps via :meth:`read_step`.
         """
+        if self.stream_mode != "refactored":
+            raise StreamError(
+                "partial class reads need a 'refactored' stream; this one is "
+                f"{self.stream_mode!r} (use read_step)"
+            )
         if (k is None) == (tol is None):
             raise ValueError("pass exactly one of k or tol")
         meta = self._meta(step)
@@ -138,10 +278,64 @@ class StepStreamReader:
 
     def read_full(self, step: int) -> CoefficientClasses:
         """All classes of a step, as a :class:`CoefficientClasses`."""
+        if self.stream_mode != "refactored":
+            raise StreamError(
+                f"read_full needs a 'refactored' stream; this one is "
+                f"{self.stream_mode!r} (use read_step)"
+            )
         meta = self._meta(step)
         return RefactoredFileReader(self.root / meta["file"]).to_coefficient_classes(
             self.hier
         )
+
+    # ------------------------------------------------------------------
+    # compressed-mode decode
+
+    def read_step(self, step: int) -> np.ndarray:
+        """Reconstruct one step of a compressed stream (within ``tol``).
+
+        Sequential reads cost one blob decode each; random access rolls
+        forward from the nearest key frame at or before ``step``,
+        replaying the code-book chain along the way.
+        """
+        if self.stream_mode != "compressed":
+            raise StreamError(
+                f"read_step needs a 'compressed' stream; this one is "
+                f"{self.stream_mode!r} (use read/read_full)"
+            )
+        self._meta(step)  # range check
+        if self._pos is not None and step == self._pos:
+            return self._prev.copy()
+        if self._pos is not None and step == self._pos + 1:
+            start = step
+        else:
+            start = self._latest_key_at_or_before(step)
+            self._pos, self._prev = None, None
+            self._scratch = {}
+        for s in range(start, step + 1):
+            self._decode_forward(s)
+        return self._prev.copy()
+
+    def _latest_key_at_or_before(self, step: int) -> int:
+        for s in range(step, -1, -1):
+            if self.steps[s].get("is_key"):
+                return s
+        raise StreamError(f"no key frame at or before step {step}")
+
+    def _decode_forward(self, s: int) -> None:
+        meta = self.steps[s]
+        blob, hier = load_compressed(self.root / meta["file"])
+        if hier.shape != self.shape:
+            raise StreamError(f"step {s} was compressed for shape {hier.shape}")
+        if self._spatial is None:
+            from ..compress.mgard import MgardCompressor
+
+            self._spatial = MgardCompressor.for_shape(
+                self.shape, float(blob.tol), mode=blob.mode
+            )
+        delta = self._spatial.decompress(blob, scratch=self._scratch)
+        self._prev = delta if meta.get("is_key") else self._prev + delta
+        self._pos = s
 
     def _meta(self, step: int) -> dict:
         if not 0 <= step < len(self.steps):

@@ -14,13 +14,23 @@ framework balances parallelism and footprint by
   the first original values after the main region) / prefetch
   (registers) / unprocessed.
 
-This module executes that structure literally: a Python loop over
-segments with explicit ghost-region carries, calling per-kernel *device
-functions* (`_mass_segment`, Algorithm 2 up to the 1/6 normalization;
-`_transfer_segment`; the two Thomas sweeps for the solver).  Tests
-assert bit-equality with the vectorized fast paths in
-:mod:`repro.core`.  Like the tiled grid kernel this is the validation
-path; production uses the vectorized ops.
+This module executes that structure at two speeds.  The default
+methods (:meth:`~LinearProcessingKernel.mass_multiply`,
+:meth:`~LinearProcessingKernel.transfer_multiply`,
+:meth:`~LinearProcessingKernel.solve`) keep the segment walk but
+compute each staged segment with whole-segment NumPy expressions — the
+per-element loops of the original validation path are gone, yet the
+arithmetic (operand order included) matches the production ops in
+:mod:`repro.core` bit for bit, which tests assert.  The solver is the
+one kernel whose along-axis recurrence is sequential by construction
+(the paper's kernel respects the same dependence); there the
+vectorization is over the batch and the walk is a single fused
+recurrence without per-segment carry copies.
+
+The original per-element implementations are retained as
+``*_scalar`` methods — the cross-check references the fast paths are
+tested against, mirroring how the entropy stage keeps its scalar
+encoder.
 """
 
 from __future__ import annotations
@@ -60,7 +70,44 @@ class LinearProcessingKernel:
     # mass-matrix multiplication (Algorithm 2)
     # ------------------------------------------------------------------
     def mass_multiply(self, v: np.ndarray) -> np.ndarray:
-        """In-place-style mass-matrix apply over segments; returns new array."""
+        """In-place-style mass-matrix apply over segments; returns new array.
+
+        The segment walk of the scalar reference is kept, but each
+        staged segment is one vector expression: interior rows read
+        their neighbours straight from the original array (the ghost
+        regions are just the slice elements flanking the segment), and
+        the two boundary rows use the one-sided stencils.
+        """
+        m = v.shape[-1]
+        if m != self.ops.m_fine:
+            raise ValueError(f"axis length {m} != m_fine {self.ops.m_fine}")
+        if m == 1:
+            return v.copy()
+        h = self.ops.h_fine
+        out = v.copy()
+        seg = self.segment
+        for start in range(0, m, seg):
+            stop = min(start + seg, m)
+            lo = max(start, 1)
+            hi = min(stop, m - 1)
+            if hi > lo:
+                hl = h[lo - 1 : hi - 1]
+                hr = h[lo:hi]
+                out[..., lo:hi] = (
+                    hl * v[..., lo - 1 : hi - 1]
+                    + 2.0 * (hl + hr) * v[..., lo:hi]
+                    + hr * v[..., lo + 1 : hi + 1]
+                ) / 6.0
+            if start == 0:
+                out[..., 0] = (2.0 * h[0] * v[..., 0] + h[0] * v[..., 1]) / 6.0
+            if stop == m:
+                out[..., m - 1] = (
+                    h[-1] * v[..., m - 2] + 2.0 * h[-1] * v[..., m - 1]
+                ) / 6.0
+        return out
+
+    def mass_multiply_scalar(self, v: np.ndarray) -> np.ndarray:
+        """Per-element reference walk (ghost carries in "registers")."""
         m = v.shape[-1]
         if m != self.ops.m_fine:
             raise ValueError(f"axis length {m} != m_fine {self.ops.m_fine}")
@@ -116,7 +163,41 @@ class LinearProcessingKernel:
     # transfer-matrix multiplication (restriction)
     # ------------------------------------------------------------------
     def transfer_multiply(self, f: np.ndarray) -> np.ndarray:
-        """Segmented load-vector restriction; output has coarse length."""
+        """Segmented load-vector restriction; output has coarse length.
+
+        Each segment of coarse outputs gathers its own-interval
+        (left-weight) contributions before the previous interval's
+        right-weight contributions — the same accumulation order as the
+        vectorized production path, so the result is bit-identical.
+        Intervals without a detail node carry zero weights, making the
+        clipped gather harmless.
+        """
+        m = f.shape[-1]
+        if m != self.ops.m_fine:
+            raise ValueError(f"axis length {m} != m_fine {self.ops.m_fine}")
+        ops = self.ops
+        mc = ops.m_coarse
+        out = np.empty(f.shape[:-1] + (mc,), dtype=f.dtype)
+        seg = self.segment
+        for start in range(0, mc, seg):
+            stop = min(start + seg, mc)
+            acc = f[..., ops.coarse_pos[start:stop]].copy()
+            if ops.m_detail:
+                own_hi = min(stop, mc - 1)
+                if own_hi > start:
+                    dv = f[..., ops.interval_detail[start:own_hi]]
+                    acc[..., : own_hi - start] += ops.w_left[start:own_hi] * dv
+                prev_lo = max(start, 1)
+                if stop > prev_lo:
+                    dv = f[..., ops.interval_detail[prev_lo - 1 : stop - 1]]
+                    acc[..., prev_lo - start :] += (
+                        ops.w_right[prev_lo - 1 : stop - 1] * dv
+                    )
+            out[..., start:stop] = acc
+        return out
+
+    def transfer_multiply_scalar(self, f: np.ndarray) -> np.ndarray:
+        """Per-output reference walk (one coarse output per thread)."""
         m = f.shape[-1]
         if m != self.ops.m_fine:
             raise ValueError(f"axis length {m} != m_fine {self.ops.m_fine}")
@@ -143,7 +224,32 @@ class LinearProcessingKernel:
     # correction solver (two dependent segment walks)
     # ------------------------------------------------------------------
     def solve(self, f: np.ndarray) -> np.ndarray:
-        """Segmented Thomas solve ``M_{l-1} z = f`` along the last axis.
+        """Thomas solve ``M_{l-1} z = f`` along the last axis.
+
+        The along-axis recurrence is sequential by construction — the
+        paper's kernel walks it the same way — so the fast path fuses
+        the two segment walks into single forward/backward recurrences
+        (no per-segment carry copies) with every step vectorized over
+        the batch, exactly matching
+        :func:`repro.core.solver.thomas_solve` operation for operation.
+        """
+        mc = f.shape[-1]
+        if mc != self.ops.m_coarse:
+            raise ValueError(f"axis length {mc} != m_coarse {self.ops.m_coarse}")
+        if mc == 1:
+            return f / self.ops.mass_bands_coarse[1, 0]
+        lower = self.ops.mass_bands_coarse[0, 1:]
+        cp, denom = thomas_factor(self.ops)
+        z = f.astype(np.float64, copy=True)
+        z[..., 0] = z[..., 0] / denom[0]
+        for i in range(1, mc):
+            z[..., i] = (z[..., i] - lower[i - 1] * z[..., i - 1]) / denom[i]
+        for i in range(mc - 2, -1, -1):
+            z[..., i] = z[..., i] - cp[i] * z[..., i + 1]
+        return z
+
+    def solve_scalar(self, f: np.ndarray) -> np.ndarray:
+        """Segmented reference walk with explicit ghost carries.
 
         The forward sweep walks segments left to right carrying the last
         eliminated value in "registers" (ghost 1); the backward sweep

@@ -52,6 +52,32 @@ class TestSegmentIndependence:
             np.testing.assert_array_equal(o, outs[0])
 
 
+@pytest.mark.parametrize("n", [5, 9, 17, 33, 16, 7, 100])
+@pytest.mark.parametrize("segment", [2, 3, 8, 64])
+class TestScalarReferencesMatchVectorized:
+    """The retained per-element walks cross-check the fast paths."""
+
+    def test_mass(self, n, segment, rng):
+        ops = _ops(n, rng)
+        k = LinearProcessingKernel(ops, segment=segment)
+        v = rng.standard_normal((4, n))
+        np.testing.assert_array_equal(k.mass_multiply(v), k.mass_multiply_scalar(v))
+
+    def test_transfer(self, n, segment, rng):
+        ops = _ops(n, rng)
+        k = LinearProcessingKernel(ops, segment=segment)
+        f = rng.standard_normal((4, n))
+        np.testing.assert_array_equal(
+            k.transfer_multiply(f), k.transfer_multiply_scalar(f)
+        )
+
+    def test_solve(self, n, segment, rng):
+        ops = _ops(n, rng)
+        k = LinearProcessingKernel(ops, segment=segment)
+        g = rng.standard_normal((4, ops.m_coarse))
+        np.testing.assert_array_equal(k.solve(g), k.solve_scalar(g))
+
+
 class TestValidation:
     def test_segment_too_small(self):
         with pytest.raises(ValueError):
