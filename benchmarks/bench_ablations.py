@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments import ablation_sweep, format_ablations
 from repro.core.decompose import decompose
-from repro.core.grid import TensorHierarchy
+from repro.core.grid import hierarchy_for
 from repro.kernels.launches import EngineOptions
 from repro.kernels.metered import GpuSimEngine
 
@@ -20,7 +20,7 @@ from repro.kernels.metered import GpuSimEngine
 )
 def test_engine_variants_functional(benchmark, name, opts, rng):
     data = rng.standard_normal((513, 513))
-    h = TensorHierarchy.from_shape((513, 513))
+    h = hierarchy_for((513, 513))
 
     def run():
         eng = GpuSimEngine(opts=opts)

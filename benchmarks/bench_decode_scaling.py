@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Decode-side executor scaling: serial vs thread vs process backends.
+
+The encode path scales with threads because its heavy kernels release
+the GIL; the *decode* path's bottleneck — the lockstep sync-block
+Huffman loop — does not, which is exactly what the process backend
+(shared-memory payload staging, see ``repro/parallel/``) exists for.
+This benchmark measures that claim and writes
+``benchmarks/results/BENCH_decode_scaling.json`` so the repo's perf
+trajectory stays machine-readable:
+
+1. **Huffman dominant class** — a skewed symbol stream large enough to
+   engage the sync-range split, decoded through all three backends
+   (outputs asserted identical).
+2. **zlib sub-blocked class** — a wide-integer class whose narrowed raw
+   stream spans many deflate sub-blocks, ditto.
+
+On a single-core host the parallel backends measure only their
+scheduling/IPC overhead — ``cpu_count`` is recorded alongside so CI
+numbers are interpreted correctly.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_decode_scaling.py
+
+``REPRO_BENCH_SCALE=ci`` shrinks the workload for smoke runs.  Pass
+``--assert-speedup`` to fail (exit 1) unless the process backend clears
+1.5x on the Huffman decode — intended for >= 4-core hosts, not CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.compress.huffman import _MIN_DECODE_BLOCKS_PER_WORKER, _SYNC_BLOCK
+from repro.compress.lossless import (
+    _ZLIB_BLOCK_BYTES,
+    decode_classes,
+    encode_classes,
+)
+from repro.parallel import available_workers, get_executor
+from repro.workloads.synthetic import skewed_bins
+
+RESULTS = Path(__file__).parent / "results"
+
+CI_SCALE = os.environ.get("REPRO_BENCH_SCALE") == "ci"
+
+
+def _best_of(fn, repeats: int):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def _measure(payload, header, bins, executors, repeats: int) -> dict:
+    out = {}
+    for tag, ex in executors.items():
+        t, (flat, _) = _best_of(
+            lambda: decode_classes(payload, header, executor=ex), repeats
+        )
+        assert np.array_equal(flat, bins), f"{tag}: decode mismatch"
+        out[f"decode_{tag}_s"] = t
+    for tag in ("thread", "process"):
+        out[f"{tag}_speedup"] = out["decode_serial_s"] / out[f"decode_{tag}_s"]
+    return out
+
+
+def bench_huffman(workers: int, repeats: int) -> dict:
+    # enough sync blocks that `workers` ranges each keep wide vectors
+    blocks = workers * _MIN_DECODE_BLOCKS_PER_WORKER + 16
+    n = blocks * _SYNC_BLOCK + 321
+    rng = np.random.default_rng(2021)
+    vals = skewed_bins(n)
+    vals[:: n // 100] = rng.integers(-(2**60), 2**60, vals[:: n // 100].size)
+    small = rng.integers(-4, 5, 512).astype(np.int64)
+    bins = np.concatenate([small, vals])
+    sizes = [small.size, n]
+    payload, header = encode_classes(bins, sizes, backend="huffman")
+    executors = {
+        "serial": None,
+        "thread": get_executor(f"thread:{workers}"),
+        "process": get_executor(f"process:{workers}"),
+    }
+    return {
+        "n_symbols": int(bins.size),
+        "payload_bytes": len(payload),
+        **_measure(payload, header, bins, executors, repeats),
+    }
+
+
+def bench_zlib(workers: int, repeats: int) -> dict:
+    blocks = 4 if CI_SCALE else 16
+    n = blocks * _ZLIB_BLOCK_BYTES // 8 + 17  # int64-wide raw stream
+    rng = np.random.default_rng(7)
+    wide = rng.integers(-(2**40), 2**40, n).astype(np.int64)
+    small = rng.integers(-4, 5, 512).astype(np.int64)
+    bins = np.concatenate([small, wide])
+    sizes = [small.size, n]
+    payload, header = encode_classes(bins, sizes, backend="zlib")
+    n_blocks = len(header["segments"][1].get("blocks", []))
+    assert n_blocks >= 2, "workload did not trigger sub-blocking"
+    executors = {
+        "serial": None,
+        "thread": get_executor(f"thread:{workers}"),
+        "process": get_executor(f"process:{workers}"),
+    }
+    return {
+        "n_symbols": int(bins.size),
+        "payload_bytes": len(payload),
+        "sub_blocks": n_blocks,
+        **_measure(payload, header, bins, executors, repeats),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(RESULTS / "BENCH_decode_scaling.json"))
+    parser.add_argument(
+        "--assert-speedup",
+        action="store_true",
+        help="exit 1 unless process-backend huffman decode clears 1.5x "
+        "(>=4-core hosts)",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 2 if CI_SCALE else 3
+    workers = 2 if CI_SCALE else max(available_workers(), 4)
+
+    report = {
+        "benchmark": "decode_scaling",
+        "scale": "ci" if CI_SCALE else "full",
+        "cpu_count": available_workers(),
+        "workers": workers,
+        "huffman": bench_huffman(workers, repeats),
+        "zlib": bench_zlib(workers, repeats),
+    }
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(
+        f"decode scaling ({report['cpu_count']} cores, {workers} workers):"
+    )
+    for backend in ("huffman", "zlib"):
+        b = report[backend]
+        print(
+            f"  {backend:8s} serial {b['decode_serial_s'] * 1e3:7.1f} ms   "
+            f"thread {b['decode_thread_s'] * 1e3:7.1f} ms "
+            f"({b['thread_speedup']:.2f}x)   "
+            f"process {b['decode_process_s'] * 1e3:7.1f} ms "
+            f"({b['process_speedup']:.2f}x)"
+        )
+    print(f"[written to {out}]")
+
+    if args.assert_speedup:
+        sp = report["huffman"]["process_speedup"]
+        if sp < 1.5:
+            print(
+                f"process-backend huffman decode speedup {sp:.2f}x below the "
+                f"1.5x bar (host has {report['cpu_count']} cores)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

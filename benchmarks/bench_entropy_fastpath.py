@@ -35,7 +35,7 @@ from repro.compress.huffman import (
     huffman_encode_scalar,
 )
 from repro.compress.mgard import MgardCompressor
-from repro.core.grid import TensorHierarchy, clear_hierarchy_cache
+from repro.core.grid import clear_hierarchy_cache, hierarchy_for
 from repro.compress.plan import clear_plan_cache
 from repro.workloads.synthetic import multiscale, skewed_bins
 
@@ -106,7 +106,7 @@ def bench_end_to_end(shape: tuple[int, ...], n_fields: int, backend: str) -> dic
             total = 0.0
             for f in fields:
                 t0 = time.perf_counter()
-                hier = TensorHierarchy.from_shape(shape)
+                hier = hierarchy_for(shape)
                 comp = MgardCompressor(hier, tol, backend=backend, batch_classes=False)
                 blob = comp.compress(f)
                 out = comp.decompress(blob)

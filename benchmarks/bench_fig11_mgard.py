@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.compress.mgard import MgardCompressor
-from repro.core.grid import TensorHierarchy
+from repro.core.grid import hierarchy_for
 from repro.experiments import fig11_mgard, format_fig11
 from repro.workloads.grayscott import simulate
 
@@ -20,7 +20,7 @@ def field():
 
 @pytest.fixture(scope="module")
 def compressor(field):
-    hier = TensorHierarchy.from_shape(field.shape)
+    hier = hierarchy_for(field.shape)
     rng = float(field.max() - field.min()) or 1.0
     return MgardCompressor(hier, 1e-3 * rng)
 

@@ -8,7 +8,7 @@ regenerates the full figure series.
 import numpy as np
 import pytest
 
-from repro.core.grid import TensorHierarchy
+from repro.core.grid import hierarchy_for
 from repro.core.mass import mass_apply
 from repro.experiments import bench_scale, fig7_mass_throughput, format_fig7
 
@@ -16,7 +16,7 @@ from repro.experiments import bench_scale, fig7_mass_throughput, format_fig7
 @pytest.fixture(scope="module")
 def hier():
     side = min(bench_scale().fig7_side, 2049)  # functional-size cap
-    return TensorHierarchy.from_shape((side, side))
+    return hierarchy_for((side, side))
 
 
 def test_mass_apply_finest_level(benchmark, hier, rng):

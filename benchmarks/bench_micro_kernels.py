@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.coefficients import compute_coefficients, restore_from_coefficients
 from repro.core.decompose import restrict_all
-from repro.core.grid import TensorHierarchy
+from repro.core.grid import hierarchy_for
 from repro.core.mass import mass_apply
 from repro.core.solver import solve_correction, thomas_solve
 from repro.core.transfer import transfer_apply
@@ -22,21 +22,21 @@ SIZES_3D = [65, 129]
 
 @pytest.mark.parametrize("n", SIZES_2D)
 def test_coefficients_2d(benchmark, n, rng):
-    h = TensorHierarchy.from_shape((n, n))
+    h = hierarchy_for((n, n))
     v = rng.standard_normal((n, n))
     benchmark(compute_coefficients, v, h, h.L)
 
 
 @pytest.mark.parametrize("n", SIZES_3D)
 def test_coefficients_3d(benchmark, n, rng):
-    h = TensorHierarchy.from_shape((n, n, n))
+    h = hierarchy_for((n, n, n))
     v = rng.standard_normal((n, n, n))
     benchmark(compute_coefficients, v, h, h.L)
 
 
 @pytest.mark.parametrize("n", SIZES_2D)
 def test_restore_2d(benchmark, n, rng):
-    h = TensorHierarchy.from_shape((n, n))
+    h = hierarchy_for((n, n))
     v = rng.standard_normal((n, n))
     c = compute_coefficients(v, h, h.L)
     vc = restrict_all(v, h, h.L)
@@ -46,7 +46,7 @@ def test_restore_2d(benchmark, n, rng):
 @pytest.mark.parametrize("n", SIZES_2D)
 @pytest.mark.parametrize("axis", [0, 1])
 def test_mass_axis(benchmark, n, axis, rng):
-    h = TensorHierarchy.from_shape((n, n))
+    h = hierarchy_for((n, n))
     ops = h.level_ops(h.L, axis)
     v = rng.standard_normal((n, n))
     benchmark(mass_apply, v, ops.h_fine, axis)
@@ -54,7 +54,7 @@ def test_mass_axis(benchmark, n, axis, rng):
 
 @pytest.mark.parametrize("n", SIZES_2D)
 def test_transfer(benchmark, n, rng):
-    h = TensorHierarchy.from_shape((n, n))
+    h = hierarchy_for((n, n))
     ops = h.level_ops(h.L, 0)
     v = rng.standard_normal((n, n))
     benchmark(transfer_apply, v, ops, 0)
@@ -62,14 +62,14 @@ def test_transfer(benchmark, n, rng):
 
 @pytest.mark.parametrize("n", SIZES_2D)
 def test_solve_scipy_path(benchmark, n, rng):
-    h = TensorHierarchy.from_shape((n, n))
+    h = hierarchy_for((n, n))
     ops = h.level_ops(h.L, 0)
     g = rng.standard_normal((ops.m_coarse, n))
     benchmark(solve_correction, g, ops, 0)
 
 
 def test_solve_thomas_path(benchmark, rng):
-    h = TensorHierarchy.from_shape((257, 257))
+    h = hierarchy_for((257, 257))
     ops = h.level_ops(h.L, 0)
     g = rng.standard_normal((ops.m_coarse, 257))
     out_scipy = solve_correction(g, ops, 0)

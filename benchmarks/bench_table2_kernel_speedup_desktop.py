@@ -6,7 +6,7 @@ level of the 2D sweep.  Modeled part: the full Table II.
 
 import pytest
 
-from repro.core.grid import TensorHierarchy
+from repro.core.grid import hierarchy_for
 from repro.core.mass import mass_apply
 from repro.core.solver import solve_correction
 from repro.core.transfer import transfer_apply
@@ -17,7 +17,7 @@ from repro.experiments import bench_scale, format_kernel_table, kernel_speedup_t
 @pytest.fixture(scope="module")
 def setup(rng):
     side = min(bench_scale().side_2d, 2049)
-    h = TensorHierarchy.from_shape((side, side))
+    h = hierarchy_for((side, side))
     ops = h.level_ops(h.L, 0)
     v = rng.standard_normal((side, side))
     return h, ops, v

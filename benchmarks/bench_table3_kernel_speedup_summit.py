@@ -7,28 +7,28 @@ Modeled part: the full Table III.
 
 import pytest
 
-from repro.core.grid import TensorHierarchy
+from repro.core.grid import hierarchy_for
 from repro.experiments import bench_scale, format_kernel_table, kernel_speedup_table
 from repro.kernels.grid_processing import GridProcessingKernel
 from repro.kernels.linear_processing import LinearProcessingKernel
 
 
 def test_tiled_grid_processing_kernel(benchmark, rng):
-    h = TensorHierarchy.from_shape((129, 129))
+    h = hierarchy_for((129, 129))
     k = GridProcessingKernel(h, h.L, b=4)
     v = rng.standard_normal((129, 129))
     benchmark(k.compute, v)
 
 
 def test_segmented_linear_kernel(benchmark, rng):
-    h = TensorHierarchy.from_shape((257,))
+    h = hierarchy_for((257,))
     k = LinearProcessingKernel(h.level_ops(h.L, 0), segment=32)
     v = rng.standard_normal((64, 257))
     benchmark(k.mass_multiply, v)
 
 
 def test_segmented_solver(benchmark, rng):
-    h = TensorHierarchy.from_shape((257,))
+    h = hierarchy_for((257,))
     ops = h.level_ops(h.L, 0)
     k = LinearProcessingKernel(ops, segment=32)
     g = rng.standard_normal((64, ops.m_coarse))

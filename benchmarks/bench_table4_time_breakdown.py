@@ -9,7 +9,7 @@ import numpy as np
 import pytest
 
 from repro.core.decompose import decompose, recompose
-from repro.core.grid import TensorHierarchy
+from repro.core.grid import hierarchy_for
 from repro.experiments import bench_scale, format_table4, table4_breakdown
 from repro.kernels.metered import GpuSimEngine
 
@@ -27,20 +27,20 @@ def data_3d(rng):
 
 
 def test_decompose_2d(benchmark, data_2d):
-    h = TensorHierarchy.from_shape(data_2d.shape)
+    h = hierarchy_for(data_2d.shape)
     out = benchmark(decompose, data_2d, h)
     assert out.shape == data_2d.shape
 
 
 def test_recompose_2d(benchmark, data_2d):
-    h = TensorHierarchy.from_shape(data_2d.shape)
+    h = hierarchy_for(data_2d.shape)
     ref = decompose(data_2d, h)
     out = benchmark(recompose, ref, h)
     np.testing.assert_allclose(out, data_2d, atol=1e-8)
 
 
 def test_decompose_3d_metered(benchmark, data_3d):
-    h = TensorHierarchy.from_shape(data_3d.shape)
+    h = hierarchy_for(data_3d.shape)
 
     def run():
         eng = GpuSimEngine()

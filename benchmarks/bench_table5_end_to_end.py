@@ -8,7 +8,7 @@ paper's band.  Modeled part: the full Table V sweep.
 import pytest
 
 from repro.core.decompose import decompose
-from repro.core.grid import TensorHierarchy
+from repro.core.grid import hierarchy_for
 from repro.experiments import bench_scale, format_table5, table5_end_to_end
 from repro.kernels.metered import CpuRefEngine, GpuSimEngine
 
@@ -19,7 +19,7 @@ def mid_grid(rng):
 
 
 def test_gpu_engine_end_to_end(benchmark, mid_grid):
-    h = TensorHierarchy.from_shape(mid_grid.shape)
+    h = hierarchy_for(mid_grid.shape)
 
     def run():
         eng = GpuSimEngine()
@@ -30,7 +30,7 @@ def test_gpu_engine_end_to_end(benchmark, mid_grid):
 
 
 def test_cpu_engine_end_to_end(benchmark, mid_grid):
-    h = TensorHierarchy.from_shape(mid_grid.shape)
+    h = hierarchy_for(mid_grid.shape)
 
     def run():
         eng = CpuRefEngine()

@@ -8,9 +8,25 @@ import pathlib
 
 MODULES = [
     "repro", "repro.core", "repro.kernels", "repro.gpu", "repro.cluster",
-    "repro.compress", "repro.io", "repro.workloads", "repro.analysis",
-    "repro.experiments",
+    "repro.compress", "repro.parallel", "repro.io", "repro.workloads",
+    "repro.analysis", "repro.experiments",
 ]
+
+# hand-written context emitted after a module's docstring line
+NOTES = {
+    "repro.parallel": """\
+Backend selection (`get_executor(spec)` / `REPRO_EXECUTOR` /
+`repro-bench --executor`); every backend emits byte-identical
+containers:
+
+| spec | backend | concurrency |
+|---|---|---|
+| `serial` | `SerialExecutor` | none — the byte-for-byte reference |
+| `thread[:N]` (alias `parallel`) | `ThreadExecutor` | shared thread pool; overlaps GIL-releasing kernels |
+| `process[:N]` | `ProcessExecutor` | process pool; shared-memory staging unlocks GIL-bound decode |
+| `auto` | thread when >1 core, else serial | — |
+""",
+}
 
 
 def main() -> None:
@@ -25,6 +41,8 @@ def main() -> None:
         doc = (inspect.getdoc(mod) or "").split("\n")[0]
         if doc:
             out.write(doc + "\n\n")
+        if modname in NOTES:
+            out.write(NOTES[modname] + "\n")
         out.write("| name | kind | summary |\n|---|---|---|\n")
         for name in sorted(getattr(mod, "__all__", []), key=str.lower):
             obj = getattr(mod, name)

@@ -67,7 +67,15 @@ def _fig10() -> str:
         parts.append(
             f"  k={r.k_classes:2d}: bytes={r.bytes_read:8d} accuracy={r.accuracy:.3f}"
         )
+    parts.append("")
+    parts.append(E.format_fig10_pipeline(E.fig10_measured_pipeline()))
     return "\n".join(parts)
+
+
+def _pipeline() -> str:
+    return E.format_fig10_pipeline(
+        E.fig10_measured_pipeline(shape=(33, 33, 33), n_steps=8)
+    )
 
 
 def _fig11() -> str:
@@ -223,6 +231,7 @@ EXPERIMENTS = {
     "fig8": (_fig8, "CUDA-stream speedups on 3D data"),
     "fig9": (_fig9, "weak scaling to 4096 GPUs (TB/s)"),
     "fig10": (_fig10, "visualization-workflow I/O cost + accuracy demo"),
+    "pipeline": (_pipeline, "measured streaming-write pipeline vs modeled makespan"),
     "fig11": (_fig11, "MGARD compression stage breakdown"),
     "offload": (_offload, "CPU-app offload break-even analysis (paper §I)"),
     "entropy": (_entropy, "entropy-stage fast path vs scalar reference"),
@@ -248,8 +257,9 @@ def main(argv: list[str] | None = None) -> int:
         "--executor",
         default=None,
         metavar="SPEC",
-        help="encode-stage executor: serial (default), parallel, parallel:N, "
-        "or auto; also settable via REPRO_EXECUTOR",
+        help="codec executor backend: serial (default), thread[:N] "
+        "('parallel' is an alias), process[:N], or auto; also settable "
+        "via REPRO_EXECUTOR",
     )
     args = parser.parse_args(argv)
     if args.executor is not None:

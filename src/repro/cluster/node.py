@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from ..gpu.analytic import model_pass
 from ..gpu.device import (
     CpuSpec,
@@ -82,11 +82,11 @@ def node_speedup(
     gpu_shape = partition_shape(shape, node.n_gpus)
     cpu_shape = partition_shape(shape, node.n_cores)
     t_gpu = model_pass(
-        TensorHierarchy.from_shape(gpu_shape), node.gpu, gpu_opts, operation
+        hierarchy_for(gpu_shape), node.gpu, gpu_opts, operation
     ).total_seconds
     t_cpu = (
         model_pass(
-            TensorHierarchy.from_shape(cpu_shape), node.cpu, CPU_BASELINE_OPTIONS, operation
+            hierarchy_for(cpu_shape), node.cpu, CPU_BASELINE_OPTIONS, operation
         ).total_seconds
         / node.cpu.parallel_efficiency
     )

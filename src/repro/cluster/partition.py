@@ -22,7 +22,7 @@ import numpy as np
 from ..core.classes import CoefficientClasses, extract_classes
 from ..core.decompose import decompose, recompose
 from ..core.engine import Engine, NumpyEngine
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from ..gpu.memory import refactoring_footprint
 
 __all__ = ["BlockPlan", "BlockRefactorer", "plan_blocks"]
@@ -107,7 +107,7 @@ class BlockRefactorer:
         self.plan = plan_blocks(shape, memory_bytes)
         self.engine = engine if engine is not None else NumpyEngine()
         self.hiers = [
-            TensorHierarchy.from_shape(self.plan.block_shape(i))
+            hierarchy_for(self.plan.block_shape(i))
             for i in range(self.plan.n_blocks)
         ]
 

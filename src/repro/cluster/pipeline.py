@@ -34,7 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..compress.executor import get_executor
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from ..gpu.analytic import model_pass
 from ..gpu.device import DeviceSpec, V100
 from ..io.storage import ALPINE_PFS, StorageTier
@@ -111,11 +111,15 @@ def run_pipeline(
     ``stages`` is a sequence of one-argument callables; item ``i``'s
     result flows ``stages[0] -> stages[1] -> …``.  ``executor`` (spec
     string, instance, or ``None`` for the ambient default) sets the
-    concurrency: serial runs items inline back to back, parallel runs
-    them on a *dedicated* thread pool — never the shared encode pool,
-    so a stage that itself fans out through the ambient executor (an
-    encode stage, say) cannot deadlock the pipeline by queueing its
-    subtasks behind gate-blocked items.  A per-stage gate admits items
+    concurrency *width only*: serial runs items inline back to back,
+    anything wider runs them on a *dedicated* thread pool — never the
+    shared encode pool (a stage that itself fans out through the
+    ambient executor cannot deadlock the pipeline by queueing its
+    subtasks behind gate-blocked items), and never a process pool
+    (stages are stateful closures — a stream writer, a prediction loop
+    — that must mutate in this address space; a stage may still *use*
+    a :class:`~repro.parallel.ProcessExecutor` internally for its own
+    codec fan-out).  A per-stage gate admits items
     strictly in order, so distinct steps overlap across stages (the
     paper's streaming-write pattern) while every stage sees the steps
     one at a time, in sequence, making stateful stages (a stream
@@ -247,7 +251,7 @@ def workflow_pipeline(
     from ..core.classes import class_sizes
     from ..kernels.launches import EngineOptions
 
-    hier = TensorHierarchy.from_shape(per_process_shape)
+    hier = hierarchy_for(per_process_shape)
     sizes = [s * 8 for s in class_sizes(hier)]
     if k_classes is None:
         k_classes = len(sizes)

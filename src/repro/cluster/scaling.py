@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from ..gpu.analytic import model_pass
 from ..gpu.device import DeviceSpec, V100
 
@@ -75,7 +75,7 @@ def weak_scaling(
 
     if opts is None:
         opts = EngineOptions(n_streams=8 if len(shape) >= 3 else 1)
-    hier = TensorHierarchy.from_shape(shape)
+    hier = hierarchy_for(shape)
     per_gpu_bytes = int(np.prod(shape)) * 8
     t = model_pass(hier, device, opts, operation).total_seconds
     rng = np.random.default_rng(seed)

@@ -2,7 +2,9 @@
 
 from .executor import (
     ParallelExecutor,
+    ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     available_workers,
     get_executor,
     set_default_executor,

@@ -1,168 +1,34 @@
-"""Execution layer for the compression pipeline's schedulable work units.
+"""Back-compat shim: the executor layer moved to :mod:`repro.parallel`.
 
-The paper hides the refactoring cost behind concurrency (CUDA streams on
-the device, pipelined I/O across time steps); the host-side encode path
-deserves the same treatment.  Every stage that fans out over independent
-work units — per-class entropy segments, the sync blocks inside one
-Huffman segment, the stages of a streaming write pipeline — takes an
-*executor* and schedules through it instead of looping inline:
-
-``SerialExecutor``
-    Runs work inline on the calling thread.  The default, and the
-    reference the parallel path must match byte-for-byte.
-
-``ParallelExecutor``
-    A :class:`concurrent.futures.ThreadPoolExecutor`-backed pool.
-    Threads suit this workload: the heavy kernels (``zlib.compress``,
-    NumPy array ops) release the GIL, so class segments genuinely
-    overlap on multi-core hosts while results keep their submission
-    order — parallel encode emits the same bytes as serial encode.
-
-Selection is explicit (pass an executor), planned (the
-``CompressionPlan.executor`` spec), or ambient: :func:`get_executor`
-resolves ``None`` through :func:`set_default_executor` and the
-``REPRO_EXECUTOR`` environment variable (``serial``, ``parallel``,
-``parallel:N``, or ``auto``).
+The compression pipeline's schedulable-work-unit interface outgrew
+``compress/`` once the streaming pipeline and the process backend
+joined the thread pool; the implementation now lives in
+:mod:`repro.parallel.executors` (with the shared-memory transport in
+:mod:`repro.parallel.shm`).  Everything historically importable from
+here keeps working — ``ParallelExecutor`` is the thread backend's
+pre-refactor name.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
-import threading
+from ..parallel.executors import (
+    ParallelExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_workers,
+    default_spec,
+    get_executor,
+    set_default_executor,
+)
 
 __all__ = [
     "SerialExecutor",
+    "ThreadExecutor",
     "ParallelExecutor",
+    "ProcessExecutor",
     "get_executor",
     "set_default_executor",
     "default_spec",
     "available_workers",
 ]
-
-_ENV_KNOB = "REPRO_EXECUTOR"
-
-
-def available_workers() -> int:
-    """Worker count ``auto`` resolves to (the cores *this process* may
-    use — CPU affinity / cgroup pinning respected where the platform
-    exposes it, so containers don't oversubscribe)."""
-    try:
-        return max(len(os.sched_getaffinity(0)), 1)
-    except AttributeError:  # platforms without sched_getaffinity
-        return max(os.cpu_count() or 1, 1)
-
-
-class SerialExecutor:
-    """Inline executor: ``map`` runs on the calling thread, in order."""
-
-    max_workers = 1
-
-    def map(self, fn, *iterables) -> list:
-        return [fn(*args) for args in zip(*iterables)]
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "SerialExecutor()"
-
-
-class ParallelExecutor:
-    """Thread-pool executor for GIL-releasing encode/decode work units.
-
-    The pool is created lazily on first use and shared by every call;
-    ``map`` preserves submission order, so any fan-out scheduled through
-    it reassembles deterministically regardless of completion order.
-    """
-
-    def __init__(self, max_workers: int | None = None):
-        if max_workers is not None and max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        self.max_workers = max_workers or available_workers()
-        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
-        self._lock = threading.Lock()
-
-    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
-        if self._pool is None:
-            with self._lock:
-                if self._pool is None:
-                    self._pool = concurrent.futures.ThreadPoolExecutor(
-                        max_workers=self.max_workers,
-                        thread_name_prefix="repro-encode",
-                    )
-        return self._pool
-
-    def map(self, fn, *iterables) -> list:
-        return list(self._ensure_pool().map(fn, *iterables))
-
-    def shutdown(self) -> None:
-        with self._lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"ParallelExecutor(max_workers={self.max_workers})"
-
-
-_default_spec: str | None = None
-_instances: dict[str, SerialExecutor | ParallelExecutor] = {}
-_instances_lock = threading.Lock()
-
-
-def set_default_executor(spec: str | None) -> None:
-    """Set the ambient executor spec (overrides ``REPRO_EXECUTOR``).
-
-    Pass ``None`` to fall back to the environment variable again.
-    """
-    global _default_spec
-    if spec is not None:
-        _parse_spec(spec)  # validate eagerly
-    _default_spec = spec
-
-
-def _parse_spec(spec: str) -> tuple[str, int | None]:
-    spec = spec.strip().lower()
-    if spec in ("", "serial"):
-        return "serial", None
-    if spec == "auto":
-        return ("parallel", None) if available_workers() > 1 else ("serial", None)
-    if spec == "parallel":
-        return "parallel", None
-    if spec.startswith("parallel:"):
-        try:
-            n = int(spec.split(":", 1)[1])
-        except ValueError:
-            raise ValueError(f"bad executor spec {spec!r}: worker count not an int")
-        if n < 1:
-            raise ValueError(f"bad executor spec {spec!r}: need >= 1 worker")
-        return "parallel", n
-    raise ValueError(
-        f"unknown executor spec {spec!r}; use 'serial', 'parallel', "
-        "'parallel:N', or 'auto'"
-    )
-
-
-def default_spec() -> str:
-    """The ambient executor spec a ``None`` request resolves to."""
-    if _default_spec is not None:
-        return _default_spec
-    return os.environ.get(_ENV_KNOB, "serial")
-
-
-def get_executor(spec: str | None = None):
-    """Resolve an executor spec to a (shared) executor instance.
-
-    ``None`` falls through :func:`set_default_executor`, then the
-    ``REPRO_EXECUTOR`` environment variable, then ``serial``.  Instances
-    are cached per normalized spec, so repeated resolution reuses one
-    thread pool.
-    """
-    if spec is None:
-        spec = default_spec()
-    kind, workers = _parse_spec(spec)
-    key = "serial" if kind == "serial" else f"parallel:{workers or 0}"
-    with _instances_lock:
-        inst = _instances.get(key)
-        if inst is None:
-            inst = SerialExecutor() if kind == "serial" else ParallelExecutor(workers)
-            _instances[key] = inst
-        return inst

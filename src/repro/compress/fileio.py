@@ -42,6 +42,10 @@ def save_compressed(
     (resolved against ``scratch`` — the stream's decode-side chain —
     and inlined) so the file stays self-contained.  Stream containers
     that keep their own chain on disk pass ``materialize=False``.
+
+    ``path`` may also be an open binary stream (e.g. ``io.BytesIO``),
+    which is how a pipeline's encode stage serializes in memory while a
+    later stage owns the disk write.
     """
     from .lossless import materialize_classes_header
 
@@ -63,13 +67,19 @@ def save_compressed(
         "coords": None if coords is None else [c.tolist() for c in coords],
     }
     hbytes = json.dumps(header).encode()
-    path = Path(path)
-    with open(path, "wb") as f:
+
+    def _emit(f) -> None:
         f.write(_MAGIC)
         f.write(struct.pack("<Q", len(hbytes)))
         f.write(hbytes)
         for p in blob.payloads:
             f.write(p)
+
+    if hasattr(path, "write"):
+        _emit(path)
+    else:
+        with open(Path(path), "wb") as f:
+            _emit(f)
     return len(_MAGIC) + 8 + len(hbytes) + offset
 
 

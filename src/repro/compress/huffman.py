@@ -39,6 +39,7 @@ compressed bit count.
 from __future__ import annotations
 
 import heapq
+import json
 
 import numpy as np
 
@@ -517,6 +518,9 @@ class _DecodeTables:
     def __init__(self, code: HuffmanCode):
         order = sorted(code.codes, key=lambda s: (code.lengths[s], code.codes[s]))
         lens_present = sorted({ln for ln in code.lengths.values()})
+        self._code = code
+        self._table: list | None = None
+        self._table_json: str | None = None
         self.flat_syms = np.empty(len(order), dtype=np.int64)
         first: dict[int, int] = {}
         count: dict[int, int] = {}
@@ -543,6 +547,23 @@ class _DecodeTables:
             [(first[L] + count[L]) << (64 - L) for L in lens_present[:-1]],
             dtype=np.uint64,
         )
+
+    @property
+    def table(self) -> list:
+        """Header-form table of the source book (lazy: only the
+        process fan-out, which must rebuild these tables in another
+        address space, ever pays for it)."""
+        if self._table is None:
+            self._table = table_from_code(self._code)
+        return self._table
+
+    @property
+    def table_json(self) -> str:
+        """JSON form of :attr:`table`, cached so a code book reused
+        across stream steps serializes once, not once per decode."""
+        if self._table_json is None:
+            self._table_json = json.dumps(self.table)
+        return self._table_json
 
     def classify(self, win: np.ndarray):
         """Left-justified windows -> (length, flat symbol rank, valid)."""
@@ -618,7 +639,6 @@ def _decode_sync(
     payload, n, total, tables: _DecodeTables, sync, executor=None
 ) -> np.ndarray:
     """Lockstep decode: one cursor per sync block, advanced together."""
-    words = _payload_words(payload, total)
     n_blocks = len(sync) + 1
     starts = np.empty(n_blocks, dtype=np.int64)
     starts[0] = 0
@@ -634,18 +654,77 @@ def _decode_sync(
     # splitting only pays off when each worker keeps wide vectors; keep
     # at least _MIN_DECODE_BLOCKS_PER_WORKER blocks per range
     workers = min(workers, n_blocks // _MIN_DECODE_BLOCKS_PER_WORKER)
+    words = _payload_words(payload, total)
     if workers > 1:
+        # one contiguous sync-block run per worker; the process and
+        # thread paths decode exactly these ranges, so the partition
+        # rule lives in one place
         cuts = np.linspace(0, n_blocks, workers + 1).astype(int)
-
-        def run(a: int, b: int) -> np.ndarray:
-            r = rem if b == n_blocks else _SYNC_BLOCK
-            return _decode_sync_range(
-                words, starts[a:b], ends[a:b], r, total, tables
-            )
-
-        parts = executor.map(run, cuts[:-1], cuts[1:])
+        ranges = [
+            (starts[a:b], ends[a:b], rem if b == n_blocks else _SYNC_BLOCK)
+            for a, b in zip(cuts[:-1], cuts[1:])
+        ]
+        if getattr(executor, "kind", None) == "process":
+            # this loop is the GIL-bound hot spot threads cannot split;
+            # ship the payload words through shared memory instead
+            out = _decode_sync_process(words, total, tables, ranges, executor)
+            if out is not None:
+                return out
+        parts = executor.map(
+            lambda s, e, r: _decode_sync_range(words, s, e, r, total, tables),
+            *zip(*ranges),
+        )
         return np.concatenate(parts)
     return _decode_sync_range(words, starts, ends, rem, total, tables)
+
+
+def _decode_sync_process(
+    words, total, tables: _DecodeTables, ranges, executor
+) -> np.ndarray | None:
+    """Sync-range decode fanned out across *processes*.
+
+    The payload words are staged once in shared memory; each worker
+    receives only (segment ref, its range bounds, the header-form code
+    table) and returns its freshly-decoded symbols.  Returns ``None``
+    when shared memory is unavailable so the caller can fall back to
+    the in-process path (reusing the same ``words`` and ``ranges``).
+    """
+    from ..parallel import shm as _shm
+
+    try:
+        ref, block = _shm.share_array(words)
+    except _shm.ShmUnavailable:
+        return None
+    try:
+        table_key = tables.table_json
+        rows = [(ref, s, e, r, total, table_key) for s, e, r in ranges]
+        parts = executor.map(_decode_sync_range_worker, *zip(*rows))
+        return np.concatenate(parts)
+    finally:
+        block.destroy()
+
+
+# worker-resident decode tables, keyed by the header-form table JSON —
+# a code book reused across stream steps (or across the ranges of one
+# payload) pays its table construction once per worker process
+_WORKER_TABLE_CACHE: dict[str, "_DecodeTables"] = {}
+
+
+def _decode_sync_range_worker(ref, starts, ends, rem, total, table_json):
+    """Process-pool work unit: decode one run of sync blocks from shm."""
+    tables = _WORKER_TABLE_CACHE.get(table_json)
+    if tables is None:
+        if len(_WORKER_TABLE_CACHE) >= 8:
+            _WORKER_TABLE_CACHE.clear()
+        tables = _DecodeTables(code_from_table(json.loads(table_json)))
+        _WORKER_TABLE_CACHE[table_json] = tables
+    lease = ref.open()
+    try:
+        # _decode_sync_range only reads the words through fancy indexing
+        # (copies), so nothing it returns aliases the shared segment
+        return _decode_sync_range(lease.view, starts, ends, rem, total, tables)
+    finally:
+        lease.close()
 
 
 def _decode_sync_range(

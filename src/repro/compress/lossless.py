@@ -12,9 +12,13 @@ payload, one header, but the header records per-segment offsets so the
 per-class segments are independent, schedulable work units — encoded
 and decoded through an executor (see :mod:`repro.compress.executor`)
 with byte-identical output to the serial path.  Segments whose class
-dominates the payload additionally parallelize *inside* the segment via
-the Huffman block encoder.  Headers without ``segments`` are the
-pre-segmentation layout and still decode (backward compatibility).
+dominates the payload additionally parallelize *inside* the segment:
+the Huffman backend via its sync-aligned block encoder, the zlib
+backend by deflating fixed-size sub-blocks independently (the header's
+per-segment ``blocks`` list records their compressed extents).  Headers
+without ``segments`` are the pre-segmentation layout, and zlib segments
+without ``blocks`` are single-unit deflate streams; both still decode
+(backward compatibility).
 
 For slowly-varying streams, pass a ``scratch`` dict (conventionally
 ``CompressionPlan.scratch``) and the Huffman backend reuses each
@@ -64,10 +68,19 @@ _BIG_SEGMENT = 1 << 16
 
 # the decode-side equivalent: the sync-partitioned Huffman decode only
 # engages once at least two workers get _MIN_DECODE_BLOCKS_PER_WORKER
-# sync blocks each; anything smaller (and every zlib segment — one-shot
-# decompress, no internal parallelism) decodes faster on the
-# across-segment fan-out
+# sync blocks each; anything smaller (and every single-unit zlib
+# segment — one-shot decompress, no internal parallelism) decodes
+# faster on the across-segment fan-out
 _BIG_DECODE_SEGMENT = 2 * _MIN_DECODE_BLOCKS_PER_WORKER * _SYNC_BLOCK
+
+# zlib sub-block size (bytes of the narrowed raw stream, a multiple of
+# 8 so int64 element boundaries align).  A class whose raw bytes reach
+# two blocks deflates as independently-schedulable sub-blocks — the
+# zlib mirror of the Huffman sync-block design, so both entropy
+# backends parallelize inside a dominant class.  Deflate's 32 KiB
+# window is tiny against this, so the ratio cost of restarting the
+# dictionary per block is noise.
+_ZLIB_BLOCK_BYTES = 1 << 18
 
 # rebuild a reused code book when the achieved bits/symbol degrade past
 # this factor of the rate the book delivered on the data it was built
@@ -102,6 +115,102 @@ def encode_bins(values: np.ndarray, backend: str = "zlib", level: int = 6) -> tu
         hh["backend"] = "huffman"
         return payload, hh
     raise ValueError(f"unknown lossless backend {backend!r}; choose from {BACKENDS}")
+
+
+# ----------------------------------------------------------------------
+# zlib sub-blocks (the deflate mirror of the Huffman sync blocks)
+
+
+def _zlib_chunks(raw: bytes) -> list[bytes]:
+    """Deterministic sub-block split of one narrowed raw stream.
+
+    Purely a function of the raw length, never of the executor, so the
+    emitted container bytes are identical for every backend.
+    """
+    if len(raw) < 2 * _ZLIB_BLOCK_BYTES:
+        return [raw]
+    return [
+        raw[a : a + _ZLIB_BLOCK_BYTES]
+        for a in range(0, len(raw), _ZLIB_BLOCK_BYTES)
+    ]
+
+
+def _deflate_chunks(chunks: list[bytes], level: int, executor) -> list[bytes]:
+    """Deflate a flat chunk list through the executor (order-preserving)."""
+    if executor is not None and len(chunks) > 1:
+        if getattr(executor, "kind", None) == "process":
+            out = _deflate_chunks_process(chunks, level, executor)
+            if out is not None:
+                return out
+        return executor.map(lambda c: zlib.compress(c, level), chunks)
+    return [zlib.compress(c, level) for c in chunks]
+
+
+def _deflate_chunks_process(chunks, level, executor) -> list[bytes] | None:
+    """Deflate fan-out across processes: raws staged once in shm."""
+    from ..parallel import shm as _shm
+
+    try:
+        ref, block, offsets = _shm.share_chunks(chunks)
+    except _shm.ShmUnavailable:
+        return None
+    try:
+        n = len(chunks)
+        return executor.map(
+            _deflate_worker,
+            [ref] * n,
+            offsets,
+            [len(c) for c in chunks],
+            [level] * n,
+        )
+    finally:
+        block.destroy()
+
+
+def _deflate_worker(ref, offset: int, length: int, level: int) -> bytes:
+    """Process-pool work unit: deflate one raw sub-block from shm."""
+    lease = ref.open()
+    try:
+        return zlib.compress(lease.view[offset : offset + length], level)
+    finally:
+        lease.close()
+
+
+def _inflate_chunks(parts: list[bytes], executor) -> list[bytes]:
+    """Inflate the sub-blocks of one segment through the executor."""
+    if executor is not None and len(parts) > 1:
+        if getattr(executor, "kind", None) == "process":
+            out = _inflate_chunks_process(parts, executor)
+            if out is not None:
+                return out
+        return executor.map(zlib.decompress, parts)
+    return [zlib.decompress(p) for p in parts]
+
+
+def _inflate_chunks_process(parts, executor) -> list[bytes] | None:
+    """Inflate fan-out across processes: deflated bytes staged in shm."""
+    from ..parallel import shm as _shm
+
+    try:
+        ref, block, offsets = _shm.share_chunks(parts)
+    except _shm.ShmUnavailable:
+        return None
+    try:
+        n = len(parts)
+        return executor.map(
+            _inflate_worker, [ref] * n, offsets, [len(p) for p in parts]
+        )
+    finally:
+        block.destroy()
+
+
+def _inflate_worker(ref, offset: int, length: int) -> bytes:
+    """Process-pool work unit: inflate one deflated sub-block from shm."""
+    lease = ref.open()
+    try:
+        return zlib.decompress(lease.view[offset : offset + length])
+    finally:
+        lease.close()
 
 
 # ----------------------------------------------------------------------
@@ -227,17 +336,31 @@ def encode_classes(
     segments = [bins[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
 
     if backend == "zlib":
-        raws = []
+        # every class narrows to its own dtype; large classes split into
+        # fixed-size sub-blocks so the deflate work units of a dominant
+        # class parallelize just like Huffman sync blocks do.  The chunk
+        # boundaries depend only on the data, so all executors emit the
+        # same bytes.
         dtypes = []
+        chunk_lists: list[list[bytes]] = []
         for seg in segments:
             dt = _narrow_dtype(seg)
-            raws.append(seg.astype(dt).tobytes())
             dtypes.append(dt.str)
-        if executor is not None:
-            payloads = executor.map(lambda r: zlib.compress(r, level), raws)
-        else:
-            payloads = [zlib.compress(r, level) for r in raws]
-        seg_headers = [{"dtype": d} for d in dtypes]
+            chunk_lists.append(_zlib_chunks(seg.astype(dt).tobytes()))
+        deflated = _deflate_chunks(
+            [c for chunks in chunk_lists for c in chunks], level, executor
+        )
+        payloads = []
+        seg_headers = []
+        pos = 0
+        for dt, chunks in zip(dtypes, chunk_lists):
+            parts = deflated[pos : pos + len(chunks)]
+            pos += len(chunks)
+            payloads.append(b"".join(parts))
+            sh: dict = {"dtype": dt}
+            if len(parts) > 1:
+                sh["blocks"] = [len(p) for p in parts]
+            seg_headers.append(sh)
     else:
         results: dict[int, tuple[bytes, dict]] = {}
         small = []
@@ -428,7 +551,17 @@ def _decode_segmented(
         sh = effective[i]
         sub = payload[sh["offset"] : sh["offset"] + sh["nbytes"]]
         if backend == "zlib":
-            raw = zlib.decompress(sub)
+            blocks = sh.get("blocks")
+            if blocks:
+                if sum(blocks) != sh["nbytes"]:
+                    raise ValueError(
+                        f"segment {i}: sub-blocks do not sum to its extent"
+                    )
+                bounds = np.cumsum([0] + list(blocks))
+                parts = [sub[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
+                raw = b"".join(_inflate_chunks(parts, inner))
+            else:
+                raw = zlib.decompress(sub)
             vals = np.frombuffer(raw, dtype=np.dtype(sh["dtype"])).astype(np.int64)
         else:
             vals = huffman_decode(sub, sh, executor=inner, tables=dtabs[i])
@@ -437,7 +570,11 @@ def _decode_segmented(
         out[starts[i] : starts[i + 1]] = vals
 
     def big_enough(i: int) -> bool:
-        return backend == "huffman" and sizes[i] >= _BIG_DECODE_SEGMENT
+        # a segment with internal parallelism decodes through the inner
+        # executor; everything else rides the across-segment fan-out
+        if backend == "huffman":
+            return sizes[i] >= _BIG_DECODE_SEGMENT
+        return "blocks" in segs[i]
 
     big = [i for i in range(len(segs)) if big_enough(i)]
     small = [i for i in range(len(segs)) if not big_enough(i)]

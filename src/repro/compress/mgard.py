@@ -105,10 +105,12 @@ class MgardCompressor:
         given, the quantizer step budget comes pre-resolved from the
         plan cache.  Prefer :meth:`for_shape` which wires this up.
     executor:
-        Executor (instance or spec string) scheduling the entropy
-        stage's per-class segments and Huffman blocks; defaults to the
-        plan's executor, else the ambient default.  The emitted bytes
-        do not depend on this choice.
+        Executor (instance or spec string — ``serial``, ``thread[:N]``,
+        ``process[:N]``, ``auto``; see :mod:`repro.parallel`) scheduling
+        the entropy stage's per-class segments, Huffman sync blocks,
+        and zlib sub-blocks; defaults to the plan's executor, else the
+        ambient default.  The emitted bytes do not depend on this
+        choice.
     """
 
     def __init__(
@@ -159,7 +161,8 @@ class MgardCompressor:
         Repeated calls with the same (shape, coords, tol, mode, backend)
         reuse the cached hierarchy (Cholesky factors and all) and the
         cached quantizer budget, so per-call setup is O(1).  ``executor``
-        is the plan's executor spec (``"serial"``, ``"parallel"``, …).
+        is the plan's executor spec (``"serial"``, ``"thread"``,
+        ``"process"``, …).
         """
         from .plan import compression_plan
 

@@ -167,11 +167,11 @@ def compression_plan(
 ) -> CompressionPlan:
     """Cached :class:`CompressionPlan` for one (geometry, tol, mode, backend).
 
-    ``executor`` is the encode-stage executor spec (``"serial"``,
-    ``"parallel"``, ``"parallel:N"``, ``"auto"``); ``None`` resolves the
+    ``executor`` is the codec executor spec (``"serial"``,
+    ``"thread[:N]"`` — alias ``"parallel"`` —, ``"process[:N]"``,
+    ``"auto"``; see :mod:`repro.parallel`); ``None`` resolves the
     ambient default (``REPRO_EXECUTOR`` /
-    :func:`repro.compress.executor.set_default_executor`) at plan-build
-    time.
+    :func:`repro.parallel.set_default_executor`) at plan-build time.
     """
     if executor is None:
         from .executor import default_spec

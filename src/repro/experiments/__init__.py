@@ -27,9 +27,11 @@ from .kernels import (
 from .scaling_exp import fig8_streams, fig9_weak_scaling, format_fig8, format_fig9
 from .showcases import (
     fig10_accuracy_demo,
+    fig10_measured_pipeline,
     fig10_workflow,
     fig11_mgard,
     format_fig10,
+    format_fig10_pipeline,
     format_fig11,
 )
 
@@ -40,6 +42,7 @@ __all__ = [
     "ablation_sweep",
     "bench_scale",
     "fig10_accuracy_demo",
+    "fig10_measured_pipeline",
     "fig10_workflow",
     "fig11_mgard",
     "fig7_mass_throughput",
@@ -47,6 +50,7 @@ __all__ = [
     "fig9_weak_scaling",
     "format_ablations",
     "format_fig10",
+    "format_fig10_pipeline",
     "format_fig11",
     "format_fig7",
     "format_fig8",

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 from typing import TYPE_CHECKING
 
-from ..core.grid import TensorHierarchy
+from ..core.grid import TensorHierarchy, hierarchy_for
 from .cost import cpu_kernel_time, gpu_kernel_time
 from .device import CpuSpec, DeviceSpec
 
@@ -88,4 +88,4 @@ def model_pass_shape(
     operation: str = "decompose",
 ) -> ModeledPass:
     """Model one pass over a uniform grid of the given shape."""
-    return model_pass(TensorHierarchy.from_shape(shape), hardware, opts, operation)
+    return model_pass(hierarchy_for(shape), hardware, opts, operation)

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from .analytic import model_pass
 from .device import CpuSpec, DeviceSpec, POWER9_CORE, V100
 
@@ -67,7 +67,7 @@ def offload_analysis(
     link_bw = device.pcie_bandwidth_gbps * 1e9
     out = []
     for shape in shapes:
-        hier = TensorHierarchy.from_shape(shape)
+        hier = hierarchy_for(shape)
         nbytes = int(np.prod(shape)) * 8
         n_transfers = 2 if roundtrip else 1
         opts = EngineOptions(n_streams=8 if len(shape) >= 3 else 1)

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from .analytic import model_pass
 from .device import DeviceSpec
 
@@ -81,7 +81,7 @@ def stream_sweep(
     """
     from ..kernels.launches import EngineOptions
 
-    hier = TensorHierarchy.from_shape(shape)
+    hier = hierarchy_for(shape)
     base = model_pass(hier, device, EngineOptions(n_streams=1), operation).total_seconds
     out = []
     for s in streams:

@@ -7,9 +7,16 @@ from .container import (
     write_refactored,
 )
 from .lifecycle import AnalysisRequest, LifecycleOutcome, simulate_lifecycle, typical_request_trace
-from .stream import StepStreamReader, StepStreamWriter, StreamError
+from .stream import PreparedStep, StepStreamReader, StepStreamWriter, StreamError
 from .storage import ALPINE_PFS, ARCHIVE_TIER, NVME_TIER, StorageTier, TieredStorage
-from .workflow import DemoResult, WorkflowPoint, model_workflow, run_workflow_demo
+from .workflow import (
+    DemoResult,
+    MeasuredPipeline,
+    WorkflowPoint,
+    model_workflow,
+    run_streaming_pipeline,
+    run_workflow_demo,
+)
 
 __all__ = [
     "ALPINE_PFS",
@@ -18,7 +25,9 @@ __all__ = [
     "ContainerError",
     "LifecycleOutcome",
     "DemoResult",
+    "MeasuredPipeline",
     "NVME_TIER",
+    "PreparedStep",
     "RefactoredFileReader",
     "RefactoredFileWriter",
     "StepStreamReader",
@@ -28,6 +37,7 @@ __all__ = [
     "TieredStorage",
     "WorkflowPoint",
     "model_workflow",
+    "run_streaming_pipeline",
     "run_workflow_demo",
     "simulate_lifecycle",
     "typical_request_trace",

@@ -24,9 +24,15 @@ from pathlib import Path
 import numpy as np
 
 from ..core.classes import CoefficientClasses, class_sizes
-from ..core.grid import TensorHierarchy
+from ..core.grid import TensorHierarchy, hierarchy_for
 
-__all__ = ["RefactoredFileWriter", "RefactoredFileReader", "write_refactored", "ContainerError"]
+__all__ = [
+    "RefactoredFileWriter",
+    "RefactoredFileReader",
+    "write_refactored",
+    "write_refactored_stream",
+    "ContainerError",
+]
 
 _MAGIC = b"RPRC\x01\x00"
 
@@ -51,37 +57,46 @@ class RefactoredFileWriter:
 
     def write(self, cc: CoefficientClasses, attrs: dict | None = None) -> int:
         """Write all classes; returns total bytes written."""
-        extents = []
-        blobs = []
-        offset = 0
-        for values in cc.classes:
-            raw = np.ascontiguousarray(values, dtype=np.float64).tobytes()
-            extents.append(
-                _ClassExtent(
-                    offset=offset, nbytes=len(raw),
-                    crc32=zlib.crc32(raw), count=int(values.size),
-                )
-            )
-            blobs.append(raw)
-            offset += len(raw)
-        header = {
-            "shape": list(cc.hier.shape),
-            "dtype": "<f8",
-            "n_classes": cc.n_classes,
-            "classes": [
-                {"offset": e.offset, "nbytes": e.nbytes, "crc32": e.crc32, "count": e.count}
-                for e in extents
-            ],
-            "attrs": attrs or {},
-        }
-        hbytes = json.dumps(header).encode()
         with open(self.path, "wb") as f:
-            f.write(_MAGIC)
-            f.write(struct.pack("<Q", len(hbytes)))
-            f.write(hbytes)
-            for raw in blobs:
-                f.write(raw)
-        return len(_MAGIC) + 8 + len(hbytes) + offset
+            return write_refactored_stream(f, cc, attrs=attrs)
+
+
+def write_refactored_stream(f, cc: CoefficientClasses, attrs: dict | None = None) -> int:
+    """Serialize a container into an open binary stream; returns bytes.
+
+    The streaming form lets a pipeline *encode* a step into memory
+    (``io.BytesIO``) while a later stage owns the actual disk write.
+    """
+    extents = []
+    blobs = []
+    offset = 0
+    for values in cc.classes:
+        raw = np.ascontiguousarray(values, dtype=np.float64).tobytes()
+        extents.append(
+            _ClassExtent(
+                offset=offset, nbytes=len(raw),
+                crc32=zlib.crc32(raw), count=int(values.size),
+            )
+        )
+        blobs.append(raw)
+        offset += len(raw)
+    header = {
+        "shape": list(cc.hier.shape),
+        "dtype": "<f8",
+        "n_classes": cc.n_classes,
+        "classes": [
+            {"offset": e.offset, "nbytes": e.nbytes, "crc32": e.crc32, "count": e.count}
+            for e in extents
+        ],
+        "attrs": attrs or {},
+    }
+    hbytes = json.dumps(header).encode()
+    f.write(_MAGIC)
+    f.write(struct.pack("<Q", len(hbytes)))
+    f.write(hbytes)
+    for raw in blobs:
+        f.write(raw)
+    return len(_MAGIC) + 8 + len(hbytes) + offset
 
 
 class RefactoredFileReader:
@@ -140,7 +155,7 @@ class RefactoredFileReader:
         self, hier: TensorHierarchy | None = None
     ) -> CoefficientClasses:
         """Reassemble a full :class:`CoefficientClasses` (all classes)."""
-        hier = hier if hier is not None else TensorHierarchy.from_shape(self.shape)
+        hier = hier if hier is not None else hierarchy_for(self.shape)
         if hier.shape != self.shape:
             raise ContainerError(
                 f"hierarchy shape {hier.shape} does not match file {self.shape}"

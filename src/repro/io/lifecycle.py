@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.classes import class_sizes
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from .storage import ALPINE_PFS, ARCHIVE_TIER, StorageTier
 
 __all__ = ["AnalysisRequest", "LifecycleOutcome", "simulate_lifecycle"]
@@ -78,7 +78,7 @@ def simulate_lifecycle(
     """
     if not 0 < keep_fraction <= 1:
         raise ValueError("keep_fraction must be in (0, 1]")
-    hier = TensorHierarchy.from_shape(shape)
+    hier = hierarchy_for(shape)
     sizes = [s * 8 for s in class_sizes(hier)]
     total_bytes = sum(sizes)
     n_classes = len(sizes)

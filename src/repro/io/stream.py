@@ -8,11 +8,16 @@ directory:
 
 * :class:`StepStreamWriter` — appends steps; each step is one
   refactored-data container plus a manifest entry (atomic rename, so a
-  concurrent reader never sees a half-written step);
+  concurrent reader never sees a half-written step).  ``append`` splits
+  into :meth:`StepStreamWriter.encode_step` (refactor/compress into
+  memory) and :meth:`StepStreamWriter.commit_step` (file + manifest
+  publish), the seam the pipelined Fig. 10 workflow overlaps stages
+  along;
 * :class:`StepStreamReader` — lists/loads steps, reading only the class
   prefix a consumer's accuracy needs (via the s-norm hint recorded by
   the producer), and :meth:`StepStreamReader.refresh`-ing its manifest
-  to follow a producer that is still appending.
+  to follow a producer that is still appending (a torn manifest read —
+  non-atomic filesystems — is ignored, keeping the last good snapshot).
 
 The manifest stores per-step metadata (shape, class byte sizes, s-norm
 truncation estimates) so a consumer can choose its prefix *before*
@@ -38,8 +43,10 @@ Two stream modes share the directory layout:
 
 from __future__ import annotations
 
+import io
 import json
 import os
+from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 
 import numpy as np
@@ -50,15 +57,40 @@ from ..core.classes import CoefficientClasses, reconstruct_from_classes
 from ..core.grid import TensorHierarchy, hierarchy_for
 from ..core.refactor import Refactorer
 from ..core.snorm import truncation_estimate
-from .container import RefactoredFileReader, write_refactored
+from .container import RefactoredFileReader, write_refactored_stream
 
-__all__ = ["StepStreamWriter", "StepStreamReader", "StreamError"]
+__all__ = ["StepStreamWriter", "StepStreamReader", "StreamError", "PreparedStep"]
 
 _MANIFEST = "manifest.json"
+
+# a torn manifest read heals on the next poll; one that stays broken
+# this many consecutive refreshes is a dead stream, not a race
+_MAX_TORN_REFRESHES = 10
 
 
 class StreamError(RuntimeError):
     """Malformed or inconsistent stream directory."""
+
+
+@dataclass
+class PreparedStep:
+    """One fully-encoded step awaiting its directory commit.
+
+    Produced by :meth:`StepStreamWriter.encode_step` (or
+    :meth:`StepStreamWriter.encode_refactored`) and consumed by
+    :meth:`StepStreamWriter.commit_step` — the split that lets a
+    pipeline's *write* stage overlap the next step's refactor/encode
+    while steps still land on disk strictly in order.
+    """
+
+    index: int
+    name: str
+    payload: bytes = dataclass_field(repr=False)
+    entry: dict
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.payload)
 
 
 class StepStreamWriter:
@@ -139,6 +171,7 @@ class StepStreamWriter:
         else:
             self._steps = []
             self._flush_manifest(shape)
+        self._next_index = len(self._steps)
 
     def _flush_manifest(self, shape) -> None:
         doc = {"shape": list(shape), "mode": self.stream_mode, "steps": self._steps}
@@ -157,47 +190,108 @@ class StepStreamWriter:
 
     def append(self, field: np.ndarray, time: float | None = None) -> int:
         """Persist one step (refactor or compress); returns its index."""
+        return self.commit_step(self.encode_step(field, time=time))
+
+    def encode_step(self, field: np.ndarray, time: float | None = None) -> PreparedStep:
+        """Refactor/compress one step into memory, without committing.
+
+        Steps must be encoded in stream order (the compressed mode's
+        closed prediction loop and code-book chain are stateful); a
+        pipeline's per-stage gate provides exactly that.  The returned
+        :class:`PreparedStep` carries the serialized container bytes
+        plus its manifest entry; hand it to :meth:`commit_step`.
+        """
         if self._compressor is not None:
-            return self._append_compressed(field, time)
-        cc = self.refactorer.refactor(field)
-        idx = len(self._steps)
-        name = f"step_{idx:06d}.rprc"
-        tmp = self.root / (name + ".tmp")
-        write_refactored(tmp, cc, attrs={"step": idx, "time": time})
-        os.replace(tmp, self.root / name)
-        hints = [
-            truncation_estimate(cc, k) for k in range(1, cc.n_classes + 1)
-        ]
-        self._steps.append(
-            {
-                "file": name,
+            blob, is_key = self._compressor.append(field)
+            idx = self._claim_index()
+            buf = io.BytesIO()
+            # keep code-book references as written: the stream directory
+            # is the unit of self-containment, not the individual step
+            nbytes = save_compressed(buf, blob, materialize=False)
+            return PreparedStep(
+                index=idx,
+                name=f"step_{idx:06d}.mgz",
+                payload=buf.getvalue(),
+                entry={"time": time, "is_key": bool(is_key), "nbytes": int(nbytes)},
+            )
+        return self.encode_refactored(self.refactorer.refactor(field), time=time)
+
+    def encode_refactored(
+        self, cc: CoefficientClasses, time: float | None = None
+    ) -> PreparedStep:
+        """Serialize already-refactored classes into a prepared step.
+
+        The refactored-mode counterpart of :meth:`encode_step` whose
+        input is the *refactor* stage's output — the seam the pipelined
+        workflow showcase splits its refactor→encode→write chain along.
+        """
+        if self._compressor is not None:
+            raise StreamError(
+                "encode_refactored needs a 'refactored' stream; this writer "
+                "is 'compressed' (use encode_step)"
+            )
+        idx = self._claim_index()
+        buf = io.BytesIO()
+        write_refactored_stream(buf, cc, attrs={"step": idx, "time": time})
+        hints = [truncation_estimate(cc, k) for k in range(1, cc.n_classes + 1)]
+        return PreparedStep(
+            index=idx,
+            name=f"step_{idx:06d}.rprc",
+            payload=buf.getvalue(),
+            entry={
                 "time": time,
                 "class_bytes": [int(c.nbytes) for c in cc.classes],
                 "truncation_estimates": hints,
-            }
+            },
         )
-        self._flush_manifest(self.refactorer.shape)
+
+    def _claim_index(self) -> int:
+        idx = self._next_index
+        self._next_index += 1
         return idx
 
-    def _append_compressed(self, field: np.ndarray, time: float | None) -> int:
-        blob, is_key = self._compressor.append(field)
-        idx = len(self._steps)
-        name = f"step_{idx:06d}.mgz"
-        tmp = self.root / (name + ".tmp")
-        # keep code-book references as written: the stream directory is
-        # the unit of self-containment, not the individual step file
-        nbytes = save_compressed(tmp, blob, materialize=False)
-        os.replace(tmp, self.root / name)
-        self._steps.append(
-            {
-                "file": name,
-                "time": time,
-                "is_key": bool(is_key),
-                "nbytes": int(nbytes),
-            }
-        )
+    def abandon_pending(self) -> int:
+        """Forget encoded-but-uncommitted steps; returns how many.
+
+        An aborted pipeline can leave steps that were encoded (their
+        indices claimed) but whose commits were cancelled.  The next
+        encode would claim a yet-higher index and every commit would
+        fail the in-order check, wedging the writer — this resets the
+        claim counter to the committed prefix so appending can resume.
+        Outstanding :class:`PreparedStep` objects from before the reset
+        are invalid and must be dropped.  Compressed-mode writers note:
+        the prediction loop and code-book chain already advanced past
+        the abandoned steps, so the stream resumes from re-encoded
+        data, not from the abandoned frames.
+        """
+        pending = self._next_index - len(self._steps)
+        self._next_index = len(self._steps)
+        if self._compressor is not None and pending:
+            # re-base the temporal chain: the next append is a key frame
+            # and rebuilds its code books, so nothing references state
+            # shipped only by the abandoned steps
+            self._compressor.reset()
+        return pending
+
+    def commit_step(self, prep: PreparedStep) -> int:
+        """Write a prepared step's file and publish its manifest entry.
+
+        Commits must arrive in encode order — the manifest records a
+        contiguous prefix, and a concurrent reader may only ever see
+        fully-written steps (tmp file + atomic rename).
+        """
+        if prep.index != len(self._steps):
+            raise StreamError(
+                f"step {prep.index} committed out of order; the manifest "
+                f"has {len(self._steps)} steps (after an aborted pipeline, "
+                "call abandon_pending() and re-encode)"
+            )
+        tmp = self.root / (prep.name + ".tmp")
+        tmp.write_bytes(prep.payload)
+        os.replace(tmp, self.root / prep.name)
+        self._steps.append({"file": prep.name, **prep.entry})
         self._flush_manifest(self.refactorer.shape)
-        return idx
+        return prep.index
 
 
 class StepStreamReader:
@@ -219,6 +313,7 @@ class StepStreamReader:
         self._pos: int | None = None
         self._prev: np.ndarray | None = None
         self._scratch: dict = {}
+        self._refresh_failures = 0
 
     @property
     def n_steps(self) -> int:
@@ -227,18 +322,49 @@ class StepStreamReader:
     def refresh(self) -> int:
         """Re-read the manifest to pick up steps appended since open.
 
-        The producer replaces the manifest atomically, so a reader
-        polling behind a live simulation always sees a consistent
-        prefix.  Returns the new step count.  Already-decoded state is
-        kept — existing steps are immutable.
+        The producer replaces the manifest atomically, so on POSIX a
+        reader polling behind a live simulation always sees a
+        consistent prefix.  Filesystems without atomic replace (network
+        mounts, some object-store shims) can expose a *torn* manifest —
+        half-written JSON, or a file that is momentarily absent mid
+        replace.  A torn read is not an error, just a poll that landed
+        inside the producer's write: the reader keeps its last good
+        snapshot and picks the new steps up on the next call (after
+        :data:`_MAX_TORN_REFRESHES` consecutive failures the stream is
+        considered dead and :class:`StreamError` is raised).  Returns
+        the current step count.  Already-decoded state is kept —
+        existing steps are immutable.
         """
         path = self.root / _MANIFEST
-        if not path.exists():
-            raise StreamError(f"no stream manifest at {self.root}")
-        manifest = json.loads(path.read_text())
-        if tuple(manifest["shape"]) != self.shape:
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as e:
+            # torn read from a live producer; keep the previous
+            # snapshot.  A *persistently* unreadable manifest (stream
+            # directory deleted, mount gone) is not a torn read — after
+            # enough consecutive failures, surface it instead of
+            # letting a polling consumer spin on stale data forever.
+            self._refresh_failures += 1
+            if self._refresh_failures >= _MAX_TORN_REFRESHES:
+                raise StreamError(
+                    f"manifest at {self.root} unreadable for "
+                    f"{self._refresh_failures} consecutive refreshes"
+                ) from e
+            return len(self.steps)
+        self._refresh_failures = 0
+        try:
+            steps = manifest["steps"]
+            shape = tuple(manifest["shape"])
+        except (KeyError, TypeError) as e:
+            # parsed cleanly but wrong schema: that is corruption (or
+            # the wrong file), not a torn read — stalling silently here
+            # would poll forever
+            raise StreamError(
+                f"malformed stream manifest at {self.root}"
+            ) from e
+        if shape != self.shape:
             raise StreamError(f"stream at {self.root} changed shape underneath us")
-        self.steps = manifest["steps"]
+        self.steps = steps
         return len(self.steps)
 
     def classes_needed(self, step: int, tol: float) -> int:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.grid import TensorHierarchy
+from ..core.grid import hierarchy_for
 from ..gpu.analytic import model_pass
 from ..gpu.device import DeviceSpec, V100
 from .launches import EngineOptions
@@ -54,7 +54,7 @@ def autotune(
     shape-only walk, so the sweep costs milliseconds — which is exactly
     the advantage of having a calibrated model over empirical tuning.
     """
-    hier = TensorHierarchy.from_shape(shape)
+    hier = hierarchy_for(shape)
     baseline = model_pass(hier, device, EngineOptions(), operation).total_seconds
     table = []
     for streams in stream_choices:

@@ -1,0 +1,47 @@
+"""Process/thread/serial concurrency substrate for the codec pipeline.
+
+Extracted from ``compress/executor.py`` (which remains as a re-export
+shim) so every layer — entropy segments, zlib sub-blocks, Huffman sync
+ranges, streaming pipelines — schedules through one interface.  See
+:mod:`repro.parallel.executors` for the backends and
+:mod:`repro.parallel.shm` for the shared-memory transport the process
+backend ships heavy operands through.
+"""
+
+from .executors import (
+    ParallelExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    available_workers,
+    default_spec,
+    get_executor,
+    set_default_executor,
+)
+from .shm import (
+    ArrayRef,
+    BytesRef,
+    SharedBlock,
+    ShmUnavailable,
+    share_array,
+    share_bytes,
+    share_chunks,
+)
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ParallelExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "set_default_executor",
+    "default_spec",
+    "available_workers",
+    "ShmUnavailable",
+    "SharedBlock",
+    "ArrayRef",
+    "BytesRef",
+    "share_array",
+    "share_bytes",
+    "share_chunks",
+]

@@ -1,0 +1,296 @@
+"""The three interchangeable executor backends behind one interface.
+
+The paper hides the refactoring cost behind concurrency (CUDA streams
+on the device, pipelined I/O across the workflow); this package applies
+the same treatment to every host-side fan-out — per-class entropy
+segments, zlib sub-blocks, Huffman sync-block ranges, pipeline stages.
+A fan-out point takes an *executor* and schedules through ``map``;
+which backend runs the units never changes the bytes they emit:
+
+``SerialExecutor``
+    Runs work inline on the calling thread.  The default, and the
+    byte-for-byte reference every other backend must match.
+
+``ThreadExecutor``
+    A shared :class:`concurrent.futures.ThreadPoolExecutor`.  Threads
+    suit the encode path: the heavy kernels (``zlib.compress``, bulk
+    NumPy ops) release the GIL, so work units genuinely overlap.
+    (``ParallelExecutor`` is the pre-refactor alias.)
+
+``ProcessExecutor``
+    A :class:`concurrent.futures.ProcessPoolExecutor`-backed pool for
+    the work the GIL never releases — the lockstep Huffman decode's
+    small-vector loop above all.  Heavy operands (payload words, zlib
+    sub-blocks) travel through ``multiprocessing.shared_memory`` (see
+    :mod:`repro.parallel.shm`); only small descriptors are pickled.
+    ``map`` transparently degrades: work that cannot cross a process
+    boundary (closures, unpicklable state) runs inline instead, so the
+    backend is always *safe* to select ambiently and accelerates the
+    call sites that ship process-ready work units.
+
+Selection is explicit (pass an executor), planned
+(``CompressionPlan.executor``), or ambient: :func:`get_executor`
+resolves ``None`` through :func:`set_default_executor` and the
+``REPRO_EXECUTOR`` environment variable.  Specs: ``serial``,
+``thread[:N]`` (alias ``parallel``), ``process[:N]``, ``auto``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures
+import os
+import pickle
+import threading
+
+__all__ = [
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ParallelExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "set_default_executor",
+    "default_spec",
+    "available_workers",
+]
+
+_ENV_KNOB = "REPRO_EXECUTOR"
+
+
+def available_workers() -> int:
+    """Worker count ``auto`` resolves to (the cores *this process* may
+    use — CPU affinity / cgroup pinning respected where the platform
+    exposes it, so containers don't oversubscribe)."""
+    try:
+        return max(len(os.sched_getaffinity(0)), 1)
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(os.cpu_count() or 1, 1)
+
+
+class SerialExecutor:
+    """Inline executor: ``map`` runs on the calling thread, in order."""
+
+    kind = "serial"
+    max_workers = 1
+
+    def map(self, fn, *iterables) -> list:
+        return [fn(*args) for args in zip(*iterables)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "SerialExecutor()"
+
+
+class ThreadExecutor:
+    """Thread-pool executor for GIL-releasing encode/decode work units.
+
+    The pool is created lazily on first use and shared by every call;
+    ``map`` preserves submission order, so any fan-out scheduled through
+    it reassembles deterministically regardless of completion order.
+    """
+
+    kind = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or available_workers()
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            with self._lock:
+                if self._pool is None:
+                    self._pool = concurrent.futures.ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-encode",
+                    )
+        return self._pool
+
+    def map(self, fn, *iterables) -> list:
+        return list(self._ensure_pool().map(fn, *iterables))
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ThreadExecutor(max_workers={self.max_workers})"
+
+
+#: Pre-refactor name of the thread backend, kept importable forever —
+#: plans and scripts written against ``compress/executor.py`` use it.
+ParallelExecutor = ThreadExecutor
+
+
+def _picklable(fn) -> bool:
+    try:
+        pickle.dumps(fn)
+        return True
+    except Exception:
+        return False
+
+
+class ProcessExecutor:
+    """Process-pool executor for GIL-bound work units.
+
+    Work functions must be picklable (module-level functions with
+    descriptor-sized arguments — the shm-staged fan-outs in
+    :mod:`repro.compress`); anything else runs inline, preserving
+    correctness at zero concurrency.  ``map`` preserves submission
+    order.  The pool forks lazily on first real use (spawn where fork
+    is unavailable) and is shared by every call; a broken pool (a
+    worker killed under it) is torn down and the batch re-runs inline.
+    """
+
+    kind = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers or available_workers()
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            with self._lock:
+                if self._pool is None:
+                    import multiprocessing
+
+                    # fork() is only safe while this process is still
+                    # single-threaded: forking under sibling threads (a
+                    # pipeline stage reaching its first codec fan-out)
+                    # snapshots their locks in the locked state and can
+                    # deadlock the children.  Single-threaded, fork is
+                    # preferred — it needs no __main__ re-import, so
+                    # REPL/stdin scripts work; otherwise fall back to
+                    # fork-from-a-clean-server (or spawn).  The
+                    # single-threaded check is only sound on >= 3.11,
+                    # where a fork-context pool spawns all its workers
+                    # eagerly (gh-90622); 3.10 forks them lazily on
+                    # later submits, when threads may exist.
+                    import sys
+
+                    methods = multiprocessing.get_all_start_methods()
+                    if (
+                        "fork" in methods
+                        and sys.version_info >= (3, 11)
+                        and threading.active_count() == 1
+                    ):
+                        method = "fork"
+                    else:
+                        for method in ("forkserver", "spawn"):
+                            if method in methods:
+                                break
+                    ctx = multiprocessing.get_context(method)
+                    self._pool = concurrent.futures.ProcessPoolExecutor(
+                        max_workers=self.max_workers, mp_context=ctx
+                    )
+                    # join the workers before interpreter teardown; a
+                    # pool reaped during module clearing spews weakref
+                    # callbacks into a half-dismantled runtime
+                    atexit.register(self.shutdown)
+        return self._pool
+
+    def map(self, fn, *iterables) -> list:
+        jobs = list(zip(*iterables))
+        if len(jobs) <= 1 or not _picklable(fn):
+            return [fn(*args) for args in jobs]
+        try:
+            return list(self._ensure_pool().map(fn, *zip(*jobs)))
+        except concurrent.futures.process.BrokenProcessPool:
+            self.shutdown()
+            return [fn(*args) for args in jobs]
+        except RuntimeError:
+            # a sibling thread observed the pool break and tore it down
+            # between our _ensure_pool() and map() ("cannot schedule new
+            # futures after shutdown"); work units are pure, so rerun
+            # inline — a genuine RuntimeError from fn re-raises here
+            return [fn(*args) for args in jobs]
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessExecutor(max_workers={self.max_workers})"
+
+
+_default_spec: str | None = None
+_instances: dict[str, object] = {}
+_instances_lock = threading.Lock()
+
+_KINDS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def set_default_executor(spec: str | None) -> None:
+    """Set the ambient executor spec (overrides ``REPRO_EXECUTOR``).
+
+    Pass ``None`` to fall back to the environment variable again.
+    """
+    global _default_spec
+    if spec is not None:
+        _parse_spec(spec)  # validate eagerly
+    _default_spec = spec
+
+
+def _parse_spec(spec: str) -> tuple[str, int | None]:
+    spec = spec.strip().lower()
+    if spec in ("", "serial"):
+        return "serial", None
+    if spec == "auto":
+        return ("thread", None) if available_workers() > 1 else ("serial", None)
+    kind, sep, count = spec.partition(":")
+    if kind == "parallel":  # pre-refactor alias for the thread backend
+        kind = "thread"
+    if kind in ("thread", "process"):
+        if not sep:
+            return kind, None
+        try:
+            n = int(count)
+        except ValueError:
+            raise ValueError(f"bad executor spec {spec!r}: worker count not an int")
+        if n < 1:
+            raise ValueError(f"bad executor spec {spec!r}: need >= 1 worker")
+        return kind, n
+    raise ValueError(
+        f"unknown executor spec {spec!r}; use 'serial', 'thread[:N]' "
+        "(alias 'parallel'), 'process[:N]', or 'auto'"
+    )
+
+
+def default_spec() -> str:
+    """The ambient executor spec a ``None`` request resolves to."""
+    if _default_spec is not None:
+        return _default_spec
+    return os.environ.get(_ENV_KNOB, "serial")
+
+
+def get_executor(spec: str | None = None):
+    """Resolve an executor spec to a (shared) executor instance.
+
+    ``None`` falls through :func:`set_default_executor`, then the
+    ``REPRO_EXECUTOR`` environment variable, then ``serial``.  Instances
+    are cached per normalized (kind, worker count), so repeated
+    resolution reuses one pool.
+    """
+    if spec is None:
+        spec = default_spec()
+    kind, workers = _parse_spec(spec)
+    key = "serial" if kind == "serial" else f"{kind}:{workers or 0}"
+    with _instances_lock:
+        inst = _instances.get(key)
+        if inst is None:
+            cls = _KINDS[kind]
+            inst = cls() if kind == "serial" else cls(workers)
+            _instances[key] = inst
+        return inst

@@ -24,7 +24,7 @@ import numpy as np
 from .compress.fileio import load_compressed, save_compressed
 from .compress.mgard import MgardCompressor
 from .core.classes import reconstruct_from_classes
-from .core.grid import TensorHierarchy
+from .core.grid import hierarchy_for
 from .core.refactor import Refactorer
 from .core.snorm import classes_for_tolerance
 from .io.container import RefactoredFileReader, write_refactored
@@ -49,7 +49,7 @@ def _cmd_refactor(args) -> int:
 
 def _cmd_reconstruct(args) -> int:
     reader = RefactoredFileReader(args.input)
-    hier = TensorHierarchy.from_shape(reader.shape)
+    hier = hierarchy_for(reader.shape)
     if args.tol is not None:
         cc = reader.to_coefficient_classes(hier)
         k = classes_for_tolerance(cc, args.tol)
@@ -71,7 +71,7 @@ def _cmd_compress(args) -> int:
         tol = args.tol
     else:
         raise SystemExit("pass --tol or --rel-tol")
-    hier = TensorHierarchy.from_shape(data.shape)
+    hier = hierarchy_for(data.shape)
     comp = MgardCompressor(hier, tol, mode=args.mode, backend=args.backend)
     blob = comp.compress(data)
     if args.verify:

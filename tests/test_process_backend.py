@@ -1,0 +1,454 @@
+"""Process-parallel codec substrate + measured workflow pipeline.
+
+Contracts:
+
+* all three executor backends (serial / thread / process) produce
+  byte-identical containers, on adversarial class mixes and across
+  code-book-reusing stream chains;
+* the zlib backend's sub-block segmentation round-trips, parallelizes
+  through every backend, and keeps decoding legacy single-unit blobs;
+* the process backend degrades safely (closures run inline, broken
+  shared memory falls back) and actually engages its shared-memory
+  fan-outs where designed;
+* :meth:`StepStreamReader.refresh` tolerates torn manifest reads from
+  a live producer;
+* the Fig. 10 workflow showcase executes refactor→encode→write over a
+  live stream writer with measured overlap compared to the model.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.compress.huffman as H
+import repro.compress.lossless as L
+from repro.cluster.pipeline import run_pipeline
+from repro.compress.executor import ParallelExecutor  # legacy import path
+from repro.compress.lossless import decode_classes, encode_classes
+from repro.compress.mgard import MgardCompressor
+from repro.io.stream import PreparedStep, StepStreamReader, StepStreamWriter, StreamError
+from repro.io.workflow import run_streaming_pipeline
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    share_array,
+    share_bytes,
+)
+
+pytestmark = pytest.mark.filterwarnings("error::UserWarning")
+
+
+def _executors():
+    return {
+        "serial": None,
+        "thread": get_executor("thread:3"),
+        "process": get_executor("process:2"),
+    }
+
+
+class TestExecutorSpecs:
+    def test_kinds_and_aliases(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        th = get_executor("thread:5")
+        assert isinstance(th, ThreadExecutor) and th.max_workers == 5
+        assert get_executor("parallel:5") is th  # pre-refactor alias
+        assert ParallelExecutor is ThreadExecutor
+        pr = get_executor("process:2")
+        assert isinstance(pr, ProcessExecutor) and pr.max_workers == 2
+        assert get_executor("process:2") is pr  # shared instance
+        for bad in ("bogus", "process:0", "thread:x"):
+            with pytest.raises(ValueError):
+                get_executor(bad)
+
+    def test_process_map_runs_closures_inline(self):
+        state = []
+        out = get_executor("process:2").map(lambda x: (state.append(x), x * 2)[1], range(5))
+        assert out == [0, 2, 4, 6, 8]
+        assert state == list(range(5))  # ran in this process
+
+    def test_process_map_picklable_fn_through_pool(self):
+        import os
+
+        pids = get_executor("process:2").map(_worker_pid, range(4))
+        assert all(isinstance(p, int) for p in pids)
+        assert any(p != os.getpid() for p in pids)
+
+
+def _worker_pid(_):
+    import os
+
+    return os.getpid()
+
+
+class TestSharedMemoryTransport:
+    def test_array_roundtrip(self):
+        arr = np.arange(1000, dtype=np.uint64)
+        ref, block = share_array(arr)
+        try:
+            lease = ref.open()
+            try:
+                np.testing.assert_array_equal(np.asarray(lease.view), arr)
+                with pytest.raises((ValueError, AttributeError)):
+                    lease.view[0] = 1  # read-only
+            finally:
+                lease.close()
+        finally:
+            block.destroy()
+
+    def test_bytes_roundtrip(self):
+        payload = bytes(range(256)) * 7
+        ref, block = share_bytes(payload)
+        try:
+            lease = ref.open()
+            try:
+                assert bytes(lease.view) == payload
+            finally:
+                lease.close()
+        finally:
+            block.destroy()
+
+
+def _adversarial_mixes(rng):
+    """(name, bins, sizes) cases spanning both backends' corner cases."""
+    big_huff = 2 * H._BLOCK_SYMBOLS + 321
+    big_zlib = (2 * L._ZLIB_BLOCK_BYTES) // 8 + 13  # int64 raw >= 2 blocks
+    yield "empty", np.zeros(0, dtype=np.int64), [0, 0]
+    yield "tiny", np.array([5, -5, 0], dtype=np.int64), [1, 0, 2]
+    skew = (rng.geometric(0.3, big_huff).astype(np.int64) - 1) * rng.choice(
+        [-1, 1], big_huff
+    )
+    yield "dominant-huffman-class", np.concatenate(
+        [rng.integers(-4, 5, 120).astype(np.int64), skew]
+    ), [120, big_huff]
+    wide = rng.integers(-(2**40), 2**40, big_zlib).astype(np.int64)
+    yield "dominant-zlib-subblock-class", np.concatenate(
+        [rng.integers(-2, 3, 64).astype(np.int64), wide]
+    ), [64, big_zlib]
+    esc = rng.integers(-(2**60), 2**60, 4000).astype(np.int64)
+    yield "escape-heavy", np.concatenate(
+        [np.zeros(32, dtype=np.int64), esc]
+    ), [32, 4000]
+
+
+class TestThreeBackendBitIdentity:
+    @pytest.mark.parametrize("backend", ["zlib", "huffman"])
+    def test_adversarial_mixes(self, rng, backend):
+        for name, bins, sizes in _adversarial_mixes(rng):
+            blobs = {
+                tag: encode_classes(bins, sizes, backend=backend, executor=ex)
+                for tag, ex in _executors().items()
+            }
+            assert blobs["serial"] == blobs["thread"], (name, backend)
+            assert blobs["serial"] == blobs["process"], (name, backend)
+            payload, header = blobs["serial"]
+            for tag, ex in _executors().items():
+                flat, got = decode_classes(payload, header, executor=ex)
+                assert got == [int(s) for s in sizes], (name, backend, tag)
+                np.testing.assert_array_equal(flat, bins, err_msg=f"{name}/{tag}")
+
+    def test_codebook_chains_are_backend_independent(self, rng):
+        """Reusing streams emit identical ref/delta chains everywhere."""
+        sizes = [60, 4000, 30000]
+        steps = [
+            np.concatenate(
+                [rng.integers(-3 - t, 4 + t, s).astype(np.int64) for s in sizes]
+            )
+            for t in range(4)
+        ]
+        scratches = {tag: {} for tag in _executors()}
+        decodes = {tag: {} for tag in _executors()}
+        saw_ref = False
+        for t, bins in enumerate(steps):
+            blobs = {}
+            for tag, ex in _executors().items():
+                blobs[tag] = encode_classes(
+                    bins, sizes, backend="huffman",
+                    scratch=scratches[tag], refresh=(t == 0), executor=ex,
+                )
+            assert blobs["serial"] == blobs["thread"] == blobs["process"], t
+            p, h = blobs["serial"]
+            saw_ref = saw_ref or any("table_ref" in s for s in h["segments"])
+            for tag, ex in _executors().items():
+                flat, _ = decode_classes(p, h, executor=ex, scratch=decodes[tag])
+                np.testing.assert_array_equal(flat, bins, err_msg=f"{t}/{tag}")
+        assert saw_ref, "the chain never reused a book; test is vacuous"
+
+    def test_compressor_containers_identical(self, rng):
+        shape = (33, 33)
+        data = rng.standard_normal(shape).cumsum(0).cumsum(1)
+        blobs = {}
+        for spec in ("serial", "thread:3", "process:2"):
+            comp = MgardCompressor.for_shape(
+                shape, 1e-3, backend="huffman", executor=spec
+            )
+            blobs[spec] = comp.compress(data)
+            assert np.abs(comp.decompress(blobs[spec]) - data).max() <= 1e-3
+        assert blobs["serial"].payloads == blobs["thread:3"].payloads
+        assert blobs["serial"].payloads == blobs["process:2"].payloads
+        assert blobs["serial"].headers == blobs["thread:3"].headers
+        assert blobs["serial"].headers == blobs["process:2"].headers
+
+
+class TestHuffmanProcessDecode:
+    def test_shm_fanout_engages_and_is_exact(self, rng, monkeypatch):
+        n = 2 * H._MIN_DECODE_BLOCKS_PER_WORKER * H._SYNC_BLOCK + 9876
+        vals = (rng.geometric(0.4, n).astype(np.int64) - 1) * rng.choice([-1, 1], n)
+        vals[:: n // 64] = rng.integers(-(2**60), 2**60, vals[:: n // 64].size)
+        payload, header = H.huffman_encode(vals)
+        calls = []
+        orig = H._decode_sync_process
+
+        def spy(*args, **kwargs):
+            out = orig(*args, **kwargs)
+            calls.append(out is not None)
+            return out
+
+        monkeypatch.setattr(H, "_decode_sync_process", spy)
+        out = H.huffman_decode(payload, header, executor=get_executor("process:2"))
+        np.testing.assert_array_equal(out, vals)
+        assert calls == [True], "process shm decode path did not engage"
+
+    def test_shm_unavailable_falls_back(self, rng, monkeypatch):
+        import repro.parallel.shm as S
+
+        n = 2 * H._MIN_DECODE_BLOCKS_PER_WORKER * H._SYNC_BLOCK + 5
+        vals = rng.integers(-6, 7, n).astype(np.int64)
+        payload, header = H.huffman_encode(vals)
+
+        def refuse(size):
+            raise S.ShmUnavailable("test")
+
+        monkeypatch.setattr(S, "_create", refuse)
+        out = H.huffman_decode(payload, header, executor=get_executor("process:2"))
+        np.testing.assert_array_equal(out, vals)
+
+
+class TestZlibSubBlocks:
+    def test_blocks_appear_only_past_threshold(self, rng):
+        small = rng.integers(-100, 100, 100).astype(np.int64)
+        big_n = (2 * L._ZLIB_BLOCK_BYTES) // 2 + 5  # int16-narrowed raw
+        big = rng.integers(-(2**12), 2**12, big_n).astype(np.int64)
+        bins = np.concatenate([small, big])
+        payload, header = encode_classes(bins, [small.size, big.size], backend="zlib")
+        segs = header["segments"]
+        assert "blocks" not in segs[0]
+        assert sum(segs[1]["blocks"]) == segs[1]["nbytes"]
+        flat, _ = decode_classes(payload, header)
+        np.testing.assert_array_equal(flat, bins)
+
+    def test_subblock_roundtrip_small_threshold(self, rng, monkeypatch):
+        """Cheap coverage of many blocks via a shrunken block size."""
+        monkeypatch.setattr(L, "_ZLIB_BLOCK_BYTES", 1 << 10)
+        sizes = [700, 90, 0, 2500]
+        bins = np.concatenate(
+            [rng.integers(-(2**20), 2**20, s).astype(np.int64) for s in sizes]
+        )
+        blobs = {
+            tag: encode_classes(bins, sizes, backend="zlib", executor=ex)
+            for tag, ex in _executors().items()
+        }
+        assert blobs["serial"] == blobs["thread"] == blobs["process"]
+        payload, header = blobs["serial"]
+        assert sum("blocks" in s for s in header["segments"]) >= 2
+        # headers survive JSON (what the on-disk container stores)
+        header = json.loads(json.dumps(header))
+        for tag, ex in _executors().items():
+            flat, _ = decode_classes(payload, header, executor=ex)
+            np.testing.assert_array_equal(flat, bins, err_msg=tag)
+
+    def test_legacy_single_unit_zlib_segments_decode(self, rng, monkeypatch):
+        """Blobs written before sub-block segmentation still decode."""
+        sizes = [600, 3000]
+        bins = rng.integers(-(2**20), 2**20, sum(sizes)).astype(np.int64)
+        # a huge threshold reproduces the pre-refactor single-unit layout
+        monkeypatch.setattr(L, "_ZLIB_BLOCK_BYTES", 1 << 40)
+        payload, header = encode_classes(bins, sizes, backend="zlib")
+        assert all("blocks" not in s for s in header["segments"])
+        monkeypatch.undo()
+        header = json.loads(json.dumps(header))
+        for tag, ex in _executors().items():
+            flat, got = decode_classes(payload, header, executor=ex)
+            assert got == sizes
+            np.testing.assert_array_equal(flat, bins, err_msg=tag)
+
+    def test_corrupt_blocks_extent_raises(self, rng):
+        n = (2 * L._ZLIB_BLOCK_BYTES) // 8 + 3
+        bins = rng.integers(-(2**40), 2**40, n).astype(np.int64)
+        payload, header = encode_classes(bins, [n], backend="zlib")
+        bad = json.loads(json.dumps(header))
+        bad["segments"][0]["blocks"][0] += 1
+        with pytest.raises(ValueError, match="sub-blocks"):
+            decode_classes(payload, bad)
+
+
+class TestPipelineWithProcessBackend:
+    def test_run_pipeline_accepts_process_executor(self):
+        out = run_pipeline(
+            [lambda x: x + 1, lambda x: x * 2],
+            list(range(12)),
+            executor=get_executor("process:2"),
+        )
+        assert out.results == [(i + 1) * 2 for i in range(12)]
+
+
+class TestTornManifestRefresh:
+    def _stream(self, rng, tmp_path, n=3):
+        base = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        frames = [base * (1 + 0.05 * t) for t in range(n)]
+        writer = StepStreamWriter(tmp_path, base.shape)
+        for t in range(2):
+            writer.append(frames[t])
+        return writer, frames
+
+    def test_refresh_ignores_torn_manifest(self, rng, tmp_path):
+        writer, frames = self._stream(rng, tmp_path)
+        reader = StepStreamReader(tmp_path)
+        assert reader.n_steps == 2
+        manifest = tmp_path / "manifest.json"
+        good = manifest.read_text()
+        manifest.write_text(good[: len(good) // 2])  # torn mid-write
+        assert reader.refresh() == 2  # keeps the last good snapshot
+        manifest.write_text(good)
+        writer.append(frames[2])
+        assert reader.refresh() == 3  # next poll catches up
+
+    def test_refresh_ignores_missing_manifest(self, rng, tmp_path):
+        writer, _ = self._stream(rng, tmp_path)
+        reader = StepStreamReader(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        good = manifest.read_text()
+        manifest.unlink()  # mid-replace on a non-atomic filesystem
+        assert reader.refresh() == 2
+        manifest.write_text(good)
+        assert reader.refresh() == 2
+
+    def test_persistently_dead_stream_raises_eventually(self, rng, tmp_path):
+        """A manifest that never heals is a dead stream, not a race."""
+        from repro.io.stream import _MAX_TORN_REFRESHES
+
+        self._stream(rng, tmp_path)
+        reader = StepStreamReader(tmp_path)
+        (tmp_path / "manifest.json").unlink()
+        for _ in range(_MAX_TORN_REFRESHES - 1):
+            assert reader.refresh() == 2
+        with pytest.raises(StreamError, match="consecutive"):
+            reader.refresh()
+
+    def test_refresh_still_rejects_shape_change(self, rng, tmp_path):
+        writer, _ = self._stream(rng, tmp_path)
+        reader = StepStreamReader(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        doc = json.loads(manifest.read_text())
+        doc["shape"] = [9, 9]
+        manifest.write_text(json.dumps(doc))
+        with pytest.raises(StreamError, match="shape"):
+            reader.refresh()
+
+
+class TestEncodeCommitSplit:
+    def test_split_matches_append(self, rng, tmp_path):
+        base = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        frames = [base * (1 + 0.1 * t) for t in range(3)]
+        w_a = StepStreamWriter(tmp_path / "a", base.shape)
+        w_b = StepStreamWriter(tmp_path / "b", base.shape)
+        for t, frame in enumerate(frames):
+            w_a.append(frame, time=float(t))
+            prep = w_b.encode_step(frame, time=float(t))
+            assert isinstance(prep, PreparedStep)
+            w_b.commit_step(prep)
+        man_a = json.loads((tmp_path / "a" / "manifest.json").read_text())
+        man_b = json.loads((tmp_path / "b" / "manifest.json").read_text())
+        assert man_a == man_b
+        for step in man_a["steps"]:
+            fa = (tmp_path / "a" / step["file"]).read_bytes()
+            fb = (tmp_path / "b" / step["file"]).read_bytes()
+            assert fa == fb
+
+    def test_split_matches_append_compressed(self, rng, tmp_path):
+        base = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        frames = [base * (1 + 0.02 * t) for t in range(4)]
+        tol = 1e-3 * float(np.abs(base).max())
+        w = StepStreamWriter(tmp_path, base.shape, tol=tol, key_interval=2)
+        for t, frame in enumerate(frames):
+            w.commit_step(w.encode_step(frame, time=float(t)))
+        reader = StepStreamReader(tmp_path)
+        for t, frame in enumerate(frames):
+            assert np.abs(reader.read_step(t) - frame).max() <= tol
+
+    def test_out_of_order_commit_raises(self, rng, tmp_path):
+        base = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        w = StepStreamWriter(tmp_path, base.shape)
+        p0 = w.encode_step(base)
+        p1 = w.encode_step(base * 2)
+        with pytest.raises(StreamError, match="order"):
+            w.commit_step(p1)
+        w.commit_step(p0)
+        w.commit_step(p1)
+        assert w.n_steps == 2
+
+    def test_encode_refactored_rejected_on_compressed_stream(self, rng, tmp_path):
+        base = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        w = StepStreamWriter(tmp_path, base.shape, tol=1e-3)
+        with pytest.raises(StreamError, match="refactored"):
+            w.encode_refactored(w.refactorer.refactor(base))
+
+    def test_abandon_pending_unwedges_writer(self, rng, tmp_path):
+        """An aborted pipeline leaves claimed-but-uncommitted indices;
+        abandon_pending() lets plain appends resume."""
+        base = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        w = StepStreamWriter(tmp_path, base.shape)
+        w.append(base)
+        w.encode_step(base * 2)  # encoded, never committed (abort)
+        w.encode_step(base * 3)
+        with pytest.raises(StreamError, match="abandon_pending"):
+            w.append(base * 4)
+        assert w.abandon_pending() >= 2  # the two orphans + failed append
+        w.append(base * 4)
+        assert w.n_steps == 2
+        reader = StepStreamReader(tmp_path)
+        field, _ = reader.read(1, k=reader.hier.L + 1)
+        np.testing.assert_allclose(field, base * 4, atol=1e-9)
+
+    def test_abandon_pending_compressed_rebases_on_key_frame(self, rng, tmp_path):
+        base = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        tol = 1e-3 * float(np.abs(base).max())
+        w = StepStreamWriter(tmp_path, base.shape, tol=tol, key_interval=4)
+        frames = [base * (1 + 0.02 * t) for t in range(4)]
+        w.append(frames[0])
+        w.append(frames[1])
+        w.encode_step(frames[2])  # abandoned: prediction loop advanced
+        assert w.abandon_pending() == 1
+        w.append(frames[2])  # re-encoded; lands as a key frame re-base
+        w.append(frames[3])
+        reader = StepStreamReader(tmp_path)
+        for t, frame in enumerate(frames):
+            assert np.abs(reader.read_step(t) - frame).max() <= tol, t
+
+
+class TestMeasuredWorkflowPipeline:
+    def test_measured_vs_modeled(self, rng, tmp_path):
+        base = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        frames = [base * (1 + 0.05 * t) for t in range(5)]
+        m = run_streaming_pipeline(
+            frames, workdir=tmp_path, executor="thread:3", keep_stream=True
+        )
+        assert m.n_steps == 5
+        assert m.stage_names == ("refactor", "encode", "write")
+        assert m.serial_wall > 0 and m.pipelined_wall > 0
+        assert m.modeled_makespan <= m.modeled_sequential + 1e-12
+        assert m.modeled_overlap_gain >= 1.0
+        assert m.bytes_written > 0
+        # the pipelined stream is a real, readable stream directory
+        reader = StepStreamReader(tmp_path / "pipelined")
+        assert reader.n_steps == 5
+        field, _ = reader.read(4, k=reader.hier.L + 1)
+        np.testing.assert_allclose(field, frames[4], atol=1e-9)
+        # the serial calibration stream is scratch and must be gone
+        assert not (tmp_path / "serial").exists()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_streaming_pipeline([])
