@@ -72,10 +72,24 @@ def _fig10() -> str:
     return "\n".join(parts)
 
 
-def _pipeline() -> str:
-    return E.format_fig10_pipeline(
-        E.fig10_measured_pipeline(shape=(33, 33, 33), n_steps=8)
-    )
+def _pipeline(mode: str = "refactored", json_out: str | None = None) -> str:
+    """The measured streaming pipeline; optionally emit its JSON record."""
+    from repro.compress.executor import default_spec
+
+    codec = default_spec() if mode == "compressed" else None
+    m = E.fig10_measured_pipeline(mode=mode, codec_executor=codec)
+    text = E.format_fig10_pipeline(m)
+    if json_out:
+        import json
+        from pathlib import Path
+
+        record = {"benchmark": "fig10_pipeline", **m.record()}
+        record["codec_executor"] = codec
+        path = Path(json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        text += f"\n[json record written to {path}]"
+    return text
 
 
 def _fig11() -> str:
@@ -231,7 +245,11 @@ EXPERIMENTS = {
     "fig8": (_fig8, "CUDA-stream speedups on 3D data"),
     "fig9": (_fig9, "weak scaling to 4096 GPUs (TB/s)"),
     "fig10": (_fig10, "visualization-workflow I/O cost + accuracy demo"),
-    "pipeline": (_pipeline, "measured streaming-write pipeline vs modeled makespan"),
+    "pipeline": (
+        _pipeline,
+        "measured streaming-write pipeline vs modeled makespan "
+        "(--mode refactored|compressed, --json PATH)",
+    ),
     "fig11": (_fig11, "MGARD compression stage breakdown"),
     "offload": (_offload, "CPU-app offload break-even analysis (paper §I)"),
     "entropy": (_entropy, "entropy-stage fast path vs scalar reference"),
@@ -261,6 +279,22 @@ def main(argv: list[str] | None = None) -> int:
         "('parallel' is an alias), process[:N], or auto; also settable "
         "via REPRO_EXECUTOR",
     )
+    parser.add_argument(
+        "--mode",
+        default="refactored",
+        choices=("refactored", "compressed"),
+        help="stream mode for the 'pipeline' experiment: raw refactored "
+        "containers, or error-bounded compression with closed-loop "
+        "temporal prediction (default: refactored)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="for the 'pipeline' experiment: also write the measured "
+        "record (mode, backend, cpu_count, stage seconds, measured vs "
+        "modeled walls) as JSON to PATH",
+    )
     args = parser.parse_args(argv)
     if args.executor is not None:
         from repro.compress.executor import set_default_executor
@@ -284,6 +318,9 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
     try:
+        if args.experiment == "pipeline":
+            print(_pipeline(mode=args.mode, json_out=args.json))
+            return 0
         print(EXPERIMENTS[args.experiment][0]())
     except BrokenPipeError:  # e.g. `repro-bench fig7 | head`
         return 0

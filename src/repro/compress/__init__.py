@@ -30,7 +30,7 @@ from .lossless import (
     encode_classes,
     materialize_classes_header,
 )
-from .mgard import CompressedData, MgardCompressor, StageTimes
+from .mgard import CompressedData, MgardCompressor, PreparedFrame, StageTimes
 from .plan import (
     CompressionPlan,
     RefactorPlan,
@@ -41,7 +41,7 @@ from .plan import (
 )
 from .quantizer import QuantizedClasses, Quantizer
 from .rate import RDPoint, bd_rate_gain, rate_distortion_curve
-from .timeseries import CompressedSeries, TimeSeriesCompressor
+from .timeseries import CompressedSeries, ResidualPlan, TimeSeriesCompressor
 
 __all__ = [
     "BACKENDS",
@@ -52,10 +52,12 @@ __all__ = [
     "HuffmanCode",
     "MgardCompressor",
     "ParallelExecutor",
+    "PreparedFrame",
     "QuantizedClasses",
     "RDPoint",
     "Quantizer",
     "RefactorPlan",
+    "ResidualPlan",
     "SerialExecutor",
     "StageTimes",
     "TimeSeriesCompressor",

@@ -19,7 +19,11 @@ self-contained canonical-Huffman implementation:
   stream into sync-aligned blocks whose chunkify/pack phases run as
   independent work units (the MSB-first concatenation is associative,
   so the merged payload is bit-identical to the serial one), while the
-  decoder partitions the sync blocks across workers;
+  decoder partitions the sync blocks across workers; under the
+  ``process`` backend both directions ship their heavy operand through
+  shared memory — the decoder its payload words, the encoder its
+  symbol ranges, whose returned pack-at-0 word buffers the coordinator
+  realigns (:func:`_shift_words`) and OR-merges;
 * a code book can be supplied (``code=``) instead of rebuilt from the
   data, which is how slowly-varying streams amortize entropy setup
   across time steps; :func:`table_delta` / :func:`apply_table_delta`
@@ -379,6 +383,163 @@ def _guard_exceeded(guard: dict, n: int, total_bits: int) -> bool:
     return max_bps is not None and total_bits > max_bps * n + 1e-9
 
 
+def _shift_words(buf: np.ndarray, s: int) -> np.ndarray:
+    """Realign a pack-at-bit-0 word buffer to start at bit ``s`` (< 64).
+
+    Packing is a plain OR of chunks at bit positions, so shifting the
+    whole buffer right by ``s`` bits is *exactly* the buffer that
+    packing at initial offset ``s`` would have produced — the
+    realignment that lets a worker pack its symbol range without
+    knowing the range's global bit position (which the coordinator only
+    learns after every range reports its bit count).
+    """
+    if s == 0:
+        return buf
+    sh = np.uint64(s)
+    inv = np.uint64(64 - s)
+    out = np.zeros(buf.size + 1, dtype=np.uint64)
+    out[:-1] = buf >> sh
+    out[1:] |= buf << inv
+    return out
+
+
+# worker-resident *encode* code books, keyed by the header-form table
+# JSON — the encode-side mirror of _WORKER_TABLE_CACHE: a book reused
+# across stream steps (or across the ranges of one payload) rebuilds
+# its canonical code and memoized lookup arrays once per worker process
+_WORKER_CODE_CACHE: dict[str, "HuffmanCode"] = {}
+
+
+def _encode_range(values: np.ndarray, code: "HuffmanCode", max_bps=None):
+    """Chunkify + pack one symbol range at local bit offset 0.
+
+    Returns ``(words, nbits, sync_local, n_escaped)`` where ``words``
+    is the pack-at-0 word buffer (realigned and OR-merged by the
+    coordinator), and ``sync_local`` the range-local bit offsets of
+    every :data:`_SYNC_BLOCK`-th symbol *including* symbol 0 — ranges
+    start on sync boundaries, so the coordinator turns these into the
+    stream's global sync table with one add per range.
+
+    ``max_bps`` is the reuse guard's bound applied as a *local hint*:
+    when this range alone exceeds it, the (expensive) pack is skipped
+    and ``words`` comes back ``None`` — the bit count, sync offsets,
+    and escape count are still returned, so the coordinator can make
+    the real (global, backend-independent) guard decision and re-pack
+    the odd locally-skewed range inline if the stream as a whole
+    passes.
+    """
+    c_codes, c_lens, elem_chunk, n_escaped = _chunkify(values, code)
+    offsets = np.zeros(c_codes.size + 1, dtype=np.int64)
+    np.cumsum(c_lens, out=offsets[1:])
+    nbits = int(offsets[-1])
+    elem_bits = offsets[:-1] if elem_chunk is None else offsets[elem_chunk]
+    lsync = elem_bits[::_SYNC_BLOCK].copy()
+    if max_bps is not None and nbits > max_bps * values.size + 1e-9:
+        return None, nbits, lsync, n_escaped
+    words = _pack_chunks_words(c_codes, c_lens, offsets)
+    return words, nbits, lsync, n_escaped
+
+
+def _encode_range_worker(ref, start: int, stop: int, table_json: str, max_bps=None):
+    """Process-pool work unit: encode one symbol range from shm."""
+    code = _WORKER_CODE_CACHE.get(table_json)
+    if code is None:
+        if len(_WORKER_CODE_CACHE) >= 8:
+            _WORKER_CODE_CACHE.clear()
+        code = code_from_table(json.loads(table_json))
+        _WORKER_CODE_CACHE[table_json] = code
+    lease = ref.open()
+    try:
+        # copy the range out of the segment before touching the code
+        # book: _chunkify raises on out-of-book symbols, and an
+        # exception's traceback would pin a live slice view past
+        # lease.close() (BufferError).  One extra memcpy of the range
+        # is noise next to the chunkify/pack passes that follow.
+        values = np.array(lease.view[start:stop])
+    finally:
+        lease.close()
+    return _encode_range(values, code, max_bps)
+
+
+def _encode_blocks_process(values, code, executor, stats=None, guard=None):
+    """Sync-aligned block encode fanned out across *processes*.
+
+    The encode-side completion of the shared-memory story: the symbol
+    array is staged once in shm, each worker receives only (segment
+    ref, its range bounds, the header-form code table) and returns its
+    range packed at local bit offset 0; the coordinator prefix-sums the
+    per-range bit counts into global positions and OR-merges the
+    returned word packs after :func:`_shift_words` realignment, so the
+    payload is bit-identical to the serial path.  Returns ``None`` when
+    shared memory is unavailable or the fan-out is too narrow, so the
+    caller falls back to the in-process block path.
+
+    A reuse ``guard`` keeps its documented before-any-bits-are-packed
+    economics: workers skip their pack when their own range exceeds the
+    bound (the overwhelmingly common shape of a guard trip — drift is
+    stream-wide), while the *decision* itself is made here from the
+    summed bit counts, so accept/reject is exactly the serial path's.
+    A range skipped locally on a stream that globally passes (escapes
+    concentrated in one range) is re-packed inline from the parent's
+    own copy of the values.
+    """
+    from ..parallel import shm as _shm
+
+    n = values.size
+    n_blocks = -(-n // _BLOCK_SYMBOLS)
+    k = min(getattr(executor, "max_workers", 1), n_blocks)
+    if k < 2:
+        return None
+    try:
+        ref, block = _shm.share_array(values)
+    except _shm.ShmUnavailable:
+        return None
+    try:
+        # contiguous runs of whole blocks per worker, so every range
+        # starts on a sync boundary (_BLOCK_SYMBOLS is a multiple of
+        # _SYNC_BLOCK) and the local sync offsets splice exactly
+        cuts = (np.linspace(0, n_blocks, k + 1).astype(int) * _BLOCK_SYMBOLS)
+        cuts[-1] = n
+        table_json = json.dumps(table_from_code(code))
+        max_bps = guard.get("max_bits_per_symbol") if guard is not None else None
+        rows = [
+            (ref, int(a), int(b), table_json, max_bps)
+            for a, b in zip(cuts[:-1], cuts[1:])
+        ]
+        parts = executor.map(_encode_range_worker, *zip(*rows))
+    finally:
+        block.destroy()
+
+    bits = np.zeros(k + 1, dtype=np.int64)
+    for i, (_, nbits, _, _) in enumerate(parts):
+        bits[i + 1] = nbits
+    starts = np.cumsum(bits)
+    total_bits = int(starts[-1])
+    if stats is not None:
+        stats["n_symbols"] = int(n)
+        stats["n_escaped"] = int(sum(p[3] for p in parts))
+    if guard is not None and _guard_exceeded(guard, n, total_bits):
+        return None, None
+    for i, (words, nbits, lsync, nesc) in enumerate(parts):
+        if words is None:  # local hint tripped, stream passed: pack now
+            a, b = int(cuts[i]), int(cuts[i + 1])
+            words = _encode_range(values[a:b], code)[0]
+            parts[i] = (words, nbits, lsync, nesc)
+    sync = np.concatenate(
+        [lsync + start for (_, _, lsync, _), start in zip(parts, starts[:-1])]
+    )[1:]  # drop the stream start (bit 0 is not a sync entry)
+
+    n_words = (total_bits + 63) >> 6
+    out = np.zeros(n_words + 3, dtype=np.uint64)  # shift + spill slack
+    for (words, _, _, _), start in zip(parts, starts[:-1]):
+        s = int(start)
+        shifted = _shift_words(words, s & 63)
+        w0 = s >> 6
+        out[w0 : w0 + shifted.size] |= shifted
+    payload = out[:n_words].astype(">u8").tobytes()[: (total_bits + 7) >> 3]
+    return payload, _header(code, n, total_bits, sync)
+
+
 def _encode_blocks(values, code, executor, stats=None, guard=None):
     """Block-parallel encode: chunkify and pack sync-aligned blocks.
 
@@ -387,8 +548,16 @@ def _encode_blocks(values, code, executor, stats=None, guard=None):
     positions, (3) map the word-aligned pack over blocks at their
     (mod-64) start shift, (4) OR the word buffers together.  MSB-first
     concatenation is associative, so the result is bit-identical to the
-    single-shot path for any executor.
+    single-shot path for any executor.  Under the process backend the
+    whole structure runs across address spaces instead
+    (:func:`_encode_blocks_process`): symbol ranges ship through shared
+    memory and the returned pack-at-0 word buffers are realigned with
+    :func:`_shift_words` before the OR-merge.
     """
+    if getattr(executor, "kind", None) == "process":
+        out = _encode_blocks_process(values, code, executor, stats, guard)
+        if out is not None:
+            return out
     n = values.size
     bounds = list(range(0, n, _BLOCK_SYMBOLS)) + [n]
     blocks = [values[a:b] for a, b in zip(bounds[:-1], bounds[1:])]

@@ -32,7 +32,7 @@ from ..core.grid import TensorHierarchy
 from .lossless import decode_bins, decode_classes, encode_bins, encode_classes
 from .quantizer import Quantizer
 
-__all__ = ["CompressedData", "MgardCompressor", "StageTimes"]
+__all__ = ["CompressedData", "MgardCompressor", "PreparedFrame", "StageTimes"]
 
 
 @dataclass
@@ -49,6 +49,32 @@ class StageTimes:
     @property
     def total_wall(self) -> float:
         return self.refactor_wall + self.quantize_wall + self.entropy_wall
+
+
+@dataclass
+class PreparedFrame:
+    """Refactored + quantized (but not yet entropy-coded) data.
+
+    The output of :meth:`MgardCompressor.prepare` and the input of
+    :meth:`MgardCompressor.encode_prepared` — the seam that splits one
+    ``compress`` call into its in-order half (refactor + quantize,
+    which closed-loop temporal prediction must run serially because
+    the *reconstruction* feeds the next frame's residual) and its
+    stateless half (entropy coding, which a pipeline overlaps across
+    steps).  Entropy coding is lossless, so the reconstruction is
+    already fully determined here: :meth:`MgardCompressor.\
+reconstruct_prepared` inverts the quantization without ever touching
+    the encoder.
+    """
+
+    bins: np.ndarray = field(repr=False)  # int64 concatenation of classes
+    sizes: list[int]
+    steps: list[float]
+    shape: tuple[int, ...]
+    tol: float
+    mode: str
+    nbytes_in: int
+    times: StageTimes = field(default_factory=StageTimes)
 
 
 @dataclass
@@ -192,48 +218,140 @@ class MgardCompressor:
         statistics differ by construction (key frames vs temporal
         residuals).  All three require ``batch_classes``.
         """
+        if self.batch_classes:
+            return self.encode_prepared(
+                self.prepare(data),
+                scratch=scratch,
+                refresh_codebooks=refresh_codebooks,
+                codebook_context=codebook_context,
+            )
+
         times = StageTimes()
         t0 = time.perf_counter()
         refactored = decompose(data, self.hier, self.engine)
         cc = CoefficientClasses(self.hier, extract_classes(refactored, self.hier))
         times.refactor_wall = time.perf_counter() - t0
 
-        if self.batch_classes:
-            t0 = time.perf_counter()
-            bins, sizes, steps = self.quantizer.quantize_flat(cc)
-            times.quantize_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        qc = self.quantizer.quantize(cc)
+        steps = qc.steps
+        times.quantize_wall = time.perf_counter() - t0
 
-            t0 = time.perf_counter()
-            payload, header = encode_classes(
-                bins,
-                sizes,
-                backend=self.backend,
-                executor=self.executor,
-                scratch=scratch,
-                refresh=refresh_codebooks,
-                context=codebook_context,
-            )
-            payloads, headers = [payload], [header]
-            times.entropy_wall = time.perf_counter() - t0
-        else:
-            t0 = time.perf_counter()
-            qc = self.quantizer.quantize(cc)
-            steps = qc.steps
-            times.quantize_wall = time.perf_counter() - t0
-
-            t0 = time.perf_counter()
-            payloads, headers = [], []
-            for b in qc.bins:
-                p, h = encode_bins(b, backend=self.backend)
-                payloads.append(p)
-                headers.append(h)
-            times.entropy_wall = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        payloads, headers = [], []
+        for b in qc.bins:
+            p, h = encode_bins(b, backend=self.backend)
+            payloads.append(p)
+            headers.append(h)
+        times.entropy_wall = time.perf_counter() - t0
 
         self._attach_modeled_times(times, data.nbytes)
         return CompressedData(
             payloads=payloads,
             headers=headers,
             steps=list(steps),
+            shape=self.hier.shape,
+            tol=self.quantizer.tol,
+            mode=self.quantizer.mode,
+            times=times,
+        )
+
+    def prepare(self, data: np.ndarray) -> PreparedFrame:
+        """Refactor and quantize ``data`` without entropy-coding it.
+
+        The in-order half of :meth:`compress` (batched layout): multigrid
+        decomposition into coefficient classes plus the fused flat
+        quantization.  The returned :class:`PreparedFrame` fully
+        determines both the final container
+        (:meth:`encode_prepared`) and the decoded reconstruction
+        (:meth:`reconstruct_prepared`), so closed-loop prediction can
+        advance to the next frame while the entropy stage still runs.
+        """
+        times = StageTimes()
+        t0 = time.perf_counter()
+        refactored = decompose(data, self.hier, self.engine)
+        cc = CoefficientClasses(self.hier, extract_classes(refactored, self.hier))
+        times.refactor_wall = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        bins, sizes, steps = self.quantizer.quantize_flat(cc)
+        times.quantize_wall = time.perf_counter() - t0
+        return PreparedFrame(
+            bins=bins,
+            sizes=sizes,
+            steps=list(steps),
+            shape=self.hier.shape,
+            tol=self.quantizer.tol,
+            mode=self.quantizer.mode,
+            nbytes_in=int(data.nbytes),
+            times=times,
+        )
+
+    def reconstruct_prepared(self, prep: PreparedFrame) -> np.ndarray:
+        """The decoded field a :class:`PreparedFrame` will round-trip to.
+
+        Entropy coding is lossless, so this equals
+        ``decompress(encode_prepared(prep))`` bit for bit — without
+        running the encoder.  It is the closed-loop feedback path of
+        the pipelined time-series compressor: the prediction loop needs
+        each frame's *reconstruction*, not its bytes.
+        """
+        classes = Quantizer.dequantize_flat(prep.bins, prep.sizes, prep.steps)
+        refactored = assemble_from_classes(classes, self.hier)
+        return recompose(refactored, self.hier, self.engine)
+
+    def encode_prepared(
+        self,
+        prep: PreparedFrame,
+        *,
+        scratch: dict | None = None,
+        refresh_codebooks: bool = False,
+        codebook_context: str = "default",
+    ) -> CompressedData:
+        """Entropy-code a :class:`PreparedFrame` into a container.
+
+        The stateless half of :meth:`compress`: given the quantized
+        bins, the emitted bytes depend only on (``scratch`` chain
+        position, ``refresh_codebooks``, ``codebook_context``) — not on
+        any compressor state — so a pipeline may run it outside the
+        prediction loop.  Calls that share a ``scratch`` (a code-book
+        chain) must still arrive in stream order; an in-order pipeline
+        stage gate provides exactly that.
+        """
+        if prep.shape != self.hier.shape:
+            raise ValueError(
+                f"prepared frame has shape {prep.shape}, not {self.hier.shape}"
+            )
+        if prep.tol != self.quantizer.tol or prep.mode != self.quantizer.mode:
+            # the bins were quantized under *that* budget; encoding them
+            # here would stamp the container with this compressor's
+            # tol/mode and claim an error bound the payload cannot honour
+            raise ValueError(
+                f"prepared frame was quantized for tol={prep.tol}, "
+                f"mode={prep.mode!r}; this compressor is "
+                f"tol={self.quantizer.tol}, mode={self.quantizer.mode!r}"
+            )
+        times = StageTimes(
+            refactor_wall=prep.times.refactor_wall,
+            quantize_wall=prep.times.quantize_wall,
+        )
+        t0 = time.perf_counter()
+        payload, header = encode_classes(
+            prep.bins,
+            prep.sizes,
+            backend=self.backend,
+            executor=self.executor,
+            scratch=scratch,
+            refresh=refresh_codebooks,
+            context=codebook_context,
+        )
+        times.entropy_wall = time.perf_counter() - t0
+
+        self._attach_modeled_times(times, prep.nbytes_in)
+        return CompressedData(
+            payloads=[payload],
+            headers=[header],
+            steps=list(prep.steps),
             shape=self.hier.shape,
             tol=self.quantizer.tol,
             mode=self.quantizer.mode,

@@ -32,9 +32,30 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.grid import TensorHierarchy
-from .mgard import CompressedData, MgardCompressor
+from .mgard import CompressedData, MgardCompressor, PreparedFrame
 
-__all__ = ["CompressedSeries", "TimeSeriesCompressor"]
+__all__ = ["CompressedSeries", "ResidualPlan", "TimeSeriesCompressor"]
+
+
+@dataclass
+class ResidualPlan:
+    """One predicted step, ready for (deferred) entropy coding.
+
+    Produced by :meth:`TimeSeriesCompressor.predict_residual` — the
+    in-order half of :meth:`TimeSeriesCompressor.append` that owns the
+    closed prediction loop — and consumed by
+    :meth:`TimeSeriesCompressor.encode_residual`.  Everything the
+    entropy stage needs travels in the plan (quantized bins, key/delta
+    decision, code-book context and refresh flag), so the encode may
+    run outside the prediction loop: the decoded-feedback dependency
+    lives entirely in ``predict_residual``.
+    """
+
+    index: int
+    is_key: bool
+    context: str
+    refresh: bool
+    prepared: PreparedFrame
 
 
 @dataclass
@@ -141,6 +162,23 @@ class TimeSeriesCompressor:
         This is the producer-side incremental API: a running simulation
         appends steps as they are computed, and the compressor keeps the
         closed prediction loop and the code-book chain across calls.
+        Equivalent to ``encode_residual(predict_residual(frame))`` —
+        the fused form of the split a pipeline overlaps.
+        """
+        return self.encode_residual(self.predict_residual(frame))
+
+    def predict_residual(self, frame: np.ndarray) -> ResidualPlan:
+        """Predict + refactor + quantize one step; advance the loop.
+
+        The in-order half of :meth:`append`: computes the temporal
+        target (the frame itself at key frames, the residual against
+        the previous *reconstruction* otherwise), refactors and
+        quantizes it, and — because entropy coding is lossless — closes
+        the prediction loop from the quantized bins alone
+        (:meth:`MgardCompressor.reconstruct_prepared`), without waiting
+        for any bytes.  Calls must arrive in stream order; the returned
+        plan may be entropy-coded later (and overlapped with the next
+        frame's prediction) via :meth:`encode_residual`.
         """
         if frame.shape != self.hier.shape:
             raise ValueError(
@@ -159,18 +197,39 @@ class TimeSeriesCompressor:
         else:
             context, refresh = "delta", self._rebase_delta
             self._rebase_delta = False
-        blob = self._spatial.compress(
-            np.ascontiguousarray(target),
-            scratch=self._scratch,
-            refresh_codebooks=refresh,
-            codebook_context=context,
-        )
-        recon_target = self._spatial.decompress(blob, scratch=self._scratch)
+        prepared = self._spatial.prepare(np.ascontiguousarray(target))
+        recon_target = self._spatial.reconstruct_prepared(prepared)
         self._prev_recon = (
             recon_target if is_key else self._prev_recon + recon_target
         )
+        plan = ResidualPlan(
+            index=self._t,
+            is_key=is_key,
+            context=context,
+            refresh=refresh,
+            prepared=prepared,
+        )
         self._t += 1
-        return blob, is_key
+        return plan
+
+    def encode_residual(self, plan: ResidualPlan) -> tuple[CompressedData, bool]:
+        """Entropy-code a :class:`ResidualPlan`; returns (blob, is_key).
+
+        Stateless with respect to the prediction loop: the plan carries
+        everything the entropy stage needs.  Plans that share this
+        compressor's code-book chain (``reuse_codebooks``) must still be
+        encoded in stream order — an in-order pipeline stage gate
+        provides exactly that — but the *prediction* of later frames
+        never waits on this call, which is what lets all three Fig. 10
+        stages overlap for compressed streams.
+        """
+        blob = self._spatial.encode_prepared(
+            plan.prepared,
+            scratch=self._scratch,
+            refresh_codebooks=plan.refresh,
+            codebook_context=plan.context,
+        )
+        return blob, plan.is_key
 
     def compress(self, frames: list[np.ndarray]) -> CompressedSeries:
         """Compress a frame sequence with closed-loop temporal prediction."""

@@ -97,27 +97,55 @@ def fig10_accuracy_demo(
 
 
 def fig10_measured_pipeline(
-    shape: tuple[int, ...] = (33, 33, 33),
-    n_steps: int = 6,
+    shape: tuple[int, ...] | None = None,
+    n_steps: int | None = None,
     executor: str | None = None,
-    sim_steps: int = 200,
+    sim_steps: int | None = None,
+    mode: str = "refactored",
+    backend: str = "huffman",
+    key_interval: int = 4,
+    codec_executor: str | None = None,
 ) -> MeasuredPipeline:
     """The Fig. 10 streaming write, executed with measured overlap.
 
-    A short Gray–Scott sequence flows refactor→encode→write over a live
-    :class:`~repro.io.stream.StepStreamWriter`, scheduled through
+    A short Gray–Scott sequence flows through the three-stage chain of
+    ``mode`` (``refactored``: refactor→encode→write; ``compressed``:
+    predict→encode→write with closed-loop temporal prediction) over a
+    live :class:`~repro.io.stream.StepStreamWriter`, scheduled through
     :func:`repro.cluster.pipeline.run_pipeline`; the measured stage
     overlap is paired with the analytic
     :meth:`~repro.cluster.pipeline.PipelineModel.makespan` of a model
     calibrated from the serial run.  ``executor=None`` picks a small
-    thread pool (the pipeline needs one thread per stage to overlap).
+    thread pool (the pipeline needs one thread per stage to overlap);
+    ``codec_executor`` schedules the compressed mode's entropy-stage
+    fan-out.  ``shape``/``n_steps``/``sim_steps`` default by
+    ``REPRO_BENCH_SCALE`` (``ci``: 17³ × 5 steps; otherwise 33³ × 8) —
+    the single scale knob the CLI, the CI smoke step, and
+    ``benchmarks/bench_fig10_pipeline.py`` all share.
     """
+    import os
+
+    ci = os.environ.get("REPRO_BENCH_SCALE") == "ci"
+    if shape is None:
+        side = 17 if ci else 33
+        shape = (side, side, side)
+    if n_steps is None:
+        n_steps = 5 if ci else 8
+    if sim_steps is None:
+        sim_steps = 60 if ci else 200
     base = simulate(shape, steps=sim_steps, params="stripes")
     drift = np.roll(base, 1, axis=0) * 0.02
     frames = [base + t * drift for t in range(n_steps)]
     if executor is None:
         executor = "thread:4"
-    return run_streaming_pipeline(frames, executor=executor)
+    return run_streaming_pipeline(
+        frames,
+        executor=executor,
+        mode=mode,
+        backend=backend,
+        key_interval=key_interval,
+        codec_executor=codec_executor,
+    )
 
 
 def format_fig10_pipeline(m: MeasuredPipeline) -> str:
@@ -144,8 +172,9 @@ def format_fig10_pipeline(m: MeasuredPipeline) -> str:
         ["", "sequential", "pipelined", "overlap gain"],
         rows,
         title=(
-            f"Fig 10 streaming write, executed: {m.n_steps} steps, "
-            f"stages {per_stage} (bottleneck: {m.bottleneck})"
+            f"Fig 10 streaming write, executed ({m.mode} mode): "
+            f"{m.n_steps} steps, stages {per_stage} "
+            f"(bottleneck: {m.bottleneck})"
         ),
     )
     return "\n".join(

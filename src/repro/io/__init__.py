@@ -7,7 +7,13 @@ from .container import (
     write_refactored,
 )
 from .lifecycle import AnalysisRequest, LifecycleOutcome, simulate_lifecycle, typical_request_trace
-from .stream import PreparedStep, StepStreamReader, StepStreamWriter, StreamError
+from .stream import (
+    PredictedStep,
+    PreparedStep,
+    StepStreamReader,
+    StepStreamWriter,
+    StreamError,
+)
 from .storage import ALPINE_PFS, ARCHIVE_TIER, NVME_TIER, StorageTier, TieredStorage
 from .workflow import (
     DemoResult,
@@ -27,6 +33,7 @@ __all__ = [
     "DemoResult",
     "MeasuredPipeline",
     "NVME_TIER",
+    "PredictedStep",
     "PreparedStep",
     "RefactoredFileReader",
     "RefactoredFileWriter",

@@ -59,7 +59,13 @@ from ..core.refactor import Refactorer
 from ..core.snorm import truncation_estimate
 from .container import RefactoredFileReader, write_refactored_stream
 
-__all__ = ["StepStreamWriter", "StepStreamReader", "StreamError", "PreparedStep"]
+__all__ = [
+    "StepStreamWriter",
+    "StepStreamReader",
+    "StreamError",
+    "PreparedStep",
+    "PredictedStep",
+]
 
 _MANIFEST = "manifest.json"
 
@@ -91,6 +97,25 @@ class PreparedStep:
     @property
     def nbytes(self) -> int:
         return len(self.payload)
+
+
+@dataclass
+class PredictedStep:
+    """One compressed-mode step through the prediction loop, unencoded.
+
+    Produced by :meth:`StepStreamWriter.predict_step` (the in-order
+    stage that owns closed-loop prediction and the step-index claim)
+    and consumed by :meth:`StepStreamWriter.encode_predicted` (entropy
+    coding + container serialization).  The split mirrors the
+    refactored mode's ``refactor → encode_refactored`` seam, so a
+    pipeline overlaps all three compressed-mode stages: while step
+    ``t`` writes, step ``t+1`` entropy-codes and step ``t+2`` runs the
+    prediction loop.
+    """
+
+    index: int
+    time: float | None
+    plan: object = dataclass_field(repr=False)  # compress.timeseries.ResidualPlan
 
 
 class StepStreamWriter:
@@ -199,22 +224,59 @@ class StepStreamWriter:
         closed prediction loop and code-book chain are stateful); a
         pipeline's per-stage gate provides exactly that.  The returned
         :class:`PreparedStep` carries the serialized container bytes
-        plus its manifest entry; hand it to :meth:`commit_step`.
+        plus its manifest entry; hand it to :meth:`commit_step`.  The
+        fused form of the two-stage compressed-mode split
+        (:meth:`predict_step` then :meth:`encode_predicted`).
         """
         if self._compressor is not None:
-            blob, is_key = self._compressor.append(field)
-            idx = self._claim_index()
-            buf = io.BytesIO()
-            # keep code-book references as written: the stream directory
-            # is the unit of self-containment, not the individual step
-            nbytes = save_compressed(buf, blob, materialize=False)
-            return PreparedStep(
-                index=idx,
-                name=f"step_{idx:06d}.mgz",
-                payload=buf.getvalue(),
-                entry={"time": time, "is_key": bool(is_key), "nbytes": int(nbytes)},
-            )
+            return self.encode_predicted(self.predict_step(field, time=time))
         return self.encode_refactored(self.refactorer.refactor(field), time=time)
+
+    def predict_step(self, field: np.ndarray, time: float | None = None) -> PredictedStep:
+        """Run one step through the closed prediction loop, unencoded.
+
+        Compressed streams only.  The in-order stage of the pipelined
+        compressed write: temporal prediction, refactor, quantization,
+        and the step-index claim all happen here (they are the stateful
+        parts), while the entropy coding of the returned
+        :class:`PredictedStep` — :meth:`encode_predicted` — may overlap
+        the *next* step's prediction.
+        """
+        if self._compressor is None:
+            raise StreamError(
+                "predict_step needs a 'compressed' stream; this writer is "
+                "'refactored' (use refactorer.refactor + encode_refactored)"
+            )
+        plan = self._compressor.predict_residual(field)
+        return PredictedStep(index=self._claim_index(), time=time, plan=plan)
+
+    def encode_predicted(self, pred: PredictedStep) -> PreparedStep:
+        """Entropy-code a predicted step and serialize its container.
+
+        Steps sharing the writer's code-book chain must be encoded in
+        stream order (a pipeline's per-stage gate guarantees it); the
+        prediction of later steps never waits on this call.
+        """
+        if self._compressor is None:
+            raise StreamError(
+                "encode_predicted needs a 'compressed' stream; this writer "
+                "is 'refactored' (use encode_refactored)"
+            )
+        blob, is_key = self._compressor.encode_residual(pred.plan)
+        buf = io.BytesIO()
+        # keep code-book references as written: the stream directory
+        # is the unit of self-containment, not the individual step
+        nbytes = save_compressed(buf, blob, materialize=False)
+        return PreparedStep(
+            index=pred.index,
+            name=f"step_{pred.index:06d}.mgz",
+            payload=buf.getvalue(),
+            entry={
+                "time": pred.time,
+                "is_key": bool(is_key),
+                "nbytes": int(nbytes),
+            },
+        )
 
     def encode_refactored(
         self, cc: CoefficientClasses, time: float | None = None
@@ -251,10 +313,10 @@ class StepStreamWriter:
         return idx
 
     def abandon_pending(self) -> int:
-        """Forget encoded-but-uncommitted steps; returns how many.
+        """Forget predicted/encoded-but-uncommitted steps; returns how many.
 
-        An aborted pipeline can leave steps that were encoded (their
-        indices claimed) but whose commits were cancelled.  The next
+        An aborted pipeline can leave steps that were predicted or
+        encoded (their indices claimed) but whose commits were cancelled.  The next
         encode would claim a yet-higher index and every commit would
         fail the in-order check, wedging the writer — this resets the
         claim counter to the committed prefix so appending can resume.
@@ -331,9 +393,14 @@ class StepStreamReader:
         inside the producer's write: the reader keeps its last good
         snapshot and picks the new steps up on the next call (after
         :data:`_MAX_TORN_REFRESHES` consecutive failures the stream is
-        considered dead and :class:`StreamError` is raised).  Returns
-        the current step count.  Already-decoded state is kept —
-        existing steps are immutable.
+        considered dead and :class:`StreamError` is raised).  A
+        snapshot that parses but lists *fewer* steps than this reader
+        already holds is treated the same way: steps are append-only,
+        so a shrunken manifest is a stale read mid-replace, and
+        adopting it would make :meth:`read_step` reject — instead of
+        rolling forward from the nearest key frame — steps it served a
+        poll ago.  Returns the current step count.  Already-decoded
+        state is kept — existing steps are immutable.
         """
         path = self.root / _MANIFEST
         try:
@@ -351,7 +418,6 @@ class StepStreamReader:
                     f"{self._refresh_failures} consecutive refreshes"
                 ) from e
             return len(self.steps)
-        self._refresh_failures = 0
         try:
             steps = manifest["steps"]
             shape = tuple(manifest["shape"])
@@ -364,6 +430,25 @@ class StepStreamReader:
             ) from e
         if shape != self.shape:
             raise StreamError(f"stream at {self.root} changed shape underneath us")
+        if len(steps) < len(self.steps):
+            # a manifest can never lose steps (the producer only appends
+            # and replaces atomically), so a shorter snapshot is another
+            # face of the torn read: a non-atomic filesystem exposing a
+            # half-propagated replace.  Adopting it would invalidate
+            # step indices this reader already served — random access
+            # via read_step would suddenly reject steps it decoded a
+            # poll ago — so keep the longer snapshot and let the next
+            # poll catch up (counted like any other torn read, so a
+            # stream that *stays* shrunken still surfaces as dead).
+            self._refresh_failures += 1
+            if self._refresh_failures >= _MAX_TORN_REFRESHES:
+                raise StreamError(
+                    f"manifest at {self.root} stuck {len(steps)} steps behind "
+                    f"this reader's snapshot of {len(self.steps)} (torn or "
+                    "rewritten stream?)"
+                )
+            return len(self.steps)
+        self._refresh_failures = 0
         self.steps = steps
         return len(self.steps)
 

@@ -193,6 +193,9 @@ class MeasuredPipeline:
     a serial (no-overlap) run; they feed the analytic
     :class:`~repro.cluster.pipeline.PipelineModel` whose makespan is
     compared against the wall time of the actually-overlapped run.
+    ``mode`` records which stream mode ran (``refactored`` or
+    ``compressed``) and ``backend`` the compressed mode's entropy
+    backend (``None`` for refactored streams, which do not encode).
     """
 
     n_steps: int
@@ -203,6 +206,8 @@ class MeasuredPipeline:
     pipelined_busy: tuple[float, ...]
     bytes_written: int
     executor: str
+    mode: str
+    backend: str | None
     model: "PipelineModel" = field(repr=False)  # noqa: F821 - lazy import
 
     @property
@@ -226,25 +231,126 @@ class MeasuredPipeline:
     def bottleneck(self) -> str:
         return self.model.bottleneck
 
+    def record(self) -> dict:
+        """JSON-ready record of this run (the ``BENCH_pipeline`` row).
+
+        Carries everything needed to interpret the numbers later:
+        stream mode, entropy backend, both executors' context
+        (pipeline stage pool spec and the host's usable core count),
+        the calibrated per-stage seconds, and measured-vs-modeled
+        walls/gains.
+        """
+        from ..compress.executor import available_workers
+
+        return {
+            "mode": self.mode,
+            "backend": self.backend,
+            "executor": self.executor,
+            "cpu_count": available_workers(),
+            "n_steps": self.n_steps,
+            "stage_names": list(self.stage_names),
+            "stage_seconds": [float(s) for s in self.stage_seconds],
+            "serial_wall_s": float(self.serial_wall),
+            "pipelined_wall_s": float(self.pipelined_wall),
+            "pipelined_busy_s": [float(s) for s in self.pipelined_busy],
+            "bytes_written": int(self.bytes_written),
+            "measured_overlap_gain": float(self.measured_overlap_gain),
+            "modeled_makespan_s": float(self.modeled_makespan),
+            "modeled_sequential_s": float(self.modeled_sequential),
+            "modeled_overlap_gain": float(self.modeled_overlap_gain),
+            "bottleneck": self.bottleneck,
+        }
+
+
+def _refactored_stages(writer: StepStreamWriter):
+    """refactor → encode → write over a raw refactored stream."""
+
+    def refactor(frame):
+        return writer.refactorer.refactor(frame)
+
+    def encode(cc):
+        return writer.encode_refactored(cc)
+
+    def write(prep):
+        writer.commit_step(prep)
+        return prep.nbytes
+
+    return [refactor, encode, write]
+
+
+def _compressed_stages(writer: StepStreamWriter):
+    """predict → encode → write over a compressed (error-bounded) stream.
+
+    The predict stage owns the closed prediction loop (temporal
+    residual, refactor, quantize); encode is the entropy stage plus
+    container serialization.  Both are stateful across steps (the
+    prediction feedback and the code-book chain), which the pipeline's
+    per-stage in-order gates make safe.
+    """
+
+    def predict(frame):
+        return writer.predict_step(frame)
+
+    def encode(pred):
+        return writer.encode_predicted(pred)
+
+    def write(prep):
+        writer.commit_step(prep)
+        return prep.nbytes
+
+    return [predict, encode, write]
+
+
+#: The two stream modes as configurations of one pipeline spine:
+#: (stage names, stage builder).  Both chains are three one-argument
+#: callables over a live writer — the spine below neither knows nor
+#: cares which mode it is running.
+_PIPELINE_MODES = {
+    "refactored": (("refactor", "encode", "write"), _refactored_stages),
+    "compressed": (("predict", "encode", "write"), _compressed_stages),
+}
+
 
 def run_streaming_pipeline(
     frames,
     workdir: str | Path | None = None,
     executor: str = "thread:4",
     keep_stream: bool = False,
+    mode: str = "refactored",
+    tol: float | None = None,
+    backend: str = "huffman",
+    key_interval: int = 16,
+    codec_executor=None,
 ) -> MeasuredPipeline:
     """Execute the Fig. 10 streaming write as a real overlapped pipeline.
 
-    Each frame flows refactor → encode (container serialization +
-    truncation hints) → write (file + manifest publish) over a live
-    :class:`~repro.io.stream.StepStreamWriter`, scheduled through
-    :func:`repro.cluster.pipeline.run_pipeline`: while step ``t``
+    One mode-agnostic spine over
+    :func:`repro.cluster.pipeline.run_pipeline`: each frame flows
+    through a three-stage chain over a live
+    :class:`~repro.io.stream.StepStreamWriter`, so while step ``t``
     writes, step ``t+1`` encodes and step ``t+2`` refactors — exactly
     the overlap the paper's workflow showcase models.  The chain runs
     twice: once serially (the no-overlap baseline, which also
     calibrates per-stage durations for the analytic model) and once
     under ``executor``; the result pairs the measured walls with
     :meth:`PipelineModel.makespan` of the calibrated model.
+
+    ``mode`` selects the chain — two configurations of the same spine:
+
+    ``refactored`` (default)
+        refactor → encode (container serialization + truncation hints)
+        → write (file + atomic manifest publish).
+
+    ``compressed``
+        predict (closed-loop temporal prediction + refactor + quantize,
+        the in-order half) → encode (entropy coding + container
+        serialization, overlappable since PR 4's prediction split) →
+        write.  ``tol`` is the per-step L∞ bound (default: ``1e-3`` of
+        frame 0's value range); ``backend``/``key_interval`` configure
+        the :class:`~repro.compress.timeseries.TimeSeriesCompressor`,
+        and ``codec_executor`` schedules the entropy stage's *internal*
+        fan-out (per-class segments, Huffman blocks) independently of
+        the pipeline's stage concurrency.
 
     With an explicit ``workdir``, ``keep_stream=True`` leaves the
     pipelined run's stream directory (``workdir/pipelined``, readable
@@ -255,29 +361,50 @@ def run_streaming_pipeline(
     # import would re-enter this package mid-initialization
     from ..cluster.pipeline import PipelineModel, run_pipeline
 
+    if mode not in _PIPELINE_MODES:
+        raise ValueError(
+            f"unknown pipeline mode {mode!r}; choose from {sorted(_PIPELINE_MODES)}"
+        )
     frames = list(frames)
     if not frames:
         raise ValueError("need at least one frame")
     shape = frames[0].shape
-    stage_names = ("refactor", "encode", "write")
+    stage_names, make_stages = _PIPELINE_MODES[mode]
+    writer_kwargs: dict = {}
+    if mode == "compressed":
+        if tol is None:
+            span = float(np.max(frames[0]) - np.min(frames[0])) or 1.0
+            tol = 1e-3 * span
+        writer_kwargs = dict(
+            tol=float(tol),
+            backend=backend,
+            key_interval=int(key_interval),
+            executor=codec_executor,
+        )
+        # fork the codec's process pool (if any) while this process is
+        # still single-threaded — under the pipeline's thread pool a
+        # lazy first fork would degrade to forkserver/spawn inside the
+        # timed run.  codec_executor=None resolves the ambient spec
+        # (REPRO_EXECUTOR), which is exactly the executor the writer
+        # will use, so it needs priming just the same.
+        from ..compress.executor import get_executor
+
+        ce = (
+            codec_executor
+            if codec_executor is not None and not isinstance(codec_executor, str)
+            else get_executor(codec_executor)
+        )
+        prime = getattr(ce, "prime", None)
+        if prime is not None:
+            prime()
     tmp_ctx = None
     if workdir is None:
         tmp_ctx = tempfile.TemporaryDirectory()
         workdir = tmp_ctx.name
     workdir = Path(workdir)
 
-    def make_stages(writer: StepStreamWriter):
-        def refactor(frame):
-            return writer.refactorer.refactor(frame)
-
-        def encode(cc):
-            return writer.encode_refactored(cc)
-
-        def write(prep):
-            writer.commit_step(prep)
-            return prep.nbytes
-
-        return [refactor, encode, write]
+    def new_writer(name: str) -> StepStreamWriter:
+        return StepStreamWriter(workdir / name, shape, **writer_kwargs)
 
     try:
         # untimed warm-up: one full step through a throwaway stream, so
@@ -285,16 +412,16 @@ def run_streaming_pipeline(
         # factors, NumPy init) land in neither timed run — the serial
         # run is a *calibration*, not a cache-warming lap for the
         # pipelined one
-        warmup = StepStreamWriter(workdir / "warmup", shape)
+        warmup = new_writer("warmup")
         warmup.commit_step(warmup.encode_step(frames[0]))
         serial_run = run_pipeline(
-            make_stages(StepStreamWriter(workdir / "serial", shape)),
+            make_stages(new_writer("serial")),
             frames,
             executor="serial",
             stage_names=stage_names,
         )
         pipelined_run = run_pipeline(
-            make_stages(StepStreamWriter(workdir / "pipelined", shape)),
+            make_stages(new_writer("pipelined")),
             frames,
             executor=executor,
             stage_names=stage_names,
@@ -324,5 +451,7 @@ def run_streaming_pipeline(
         pipelined_busy=pipelined_run.stage_busy_seconds,
         bytes_written=int(sum(pipelined_run.results)),
         executor=str(executor),
+        mode=mode,
+        backend=backend if mode == "compressed" else None,
         model=model,
     )

@@ -20,8 +20,9 @@ which backend runs the units never changes the bytes they emit:
 ``ProcessExecutor``
     A :class:`concurrent.futures.ProcessPoolExecutor`-backed pool for
     the work the GIL never releases — the lockstep Huffman decode's
-    small-vector loop above all.  Heavy operands (payload words, zlib
-    sub-blocks) travel through ``multiprocessing.shared_memory`` (see
+    small-vector loop above all.  Heavy operands (payload words,
+    symbol ranges for the block encode, zlib sub-blocks) travel
+    through ``multiprocessing.shared_memory`` (see
     :mod:`repro.parallel.shm`); only small descriptors are pickled.
     ``map`` transparently degrades: work that cannot cross a process
     boundary (closures, unpicklable state) runs inline instead, so the
@@ -76,6 +77,9 @@ class SerialExecutor:
     def map(self, fn, *iterables) -> list:
         return [fn(*args) for args in zip(*iterables)]
 
+    def prime(self) -> None:
+        """No pool to warm; kept for interface symmetry."""
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "SerialExecutor()"
 
@@ -109,6 +113,10 @@ class ThreadExecutor:
 
     def map(self, fn, *iterables) -> list:
         return list(self._ensure_pool().map(fn, *iterables))
+
+    def prime(self) -> None:
+        """Create the pool now instead of lazily on first ``map``."""
+        self._ensure_pool()
 
     def shutdown(self) -> None:
         with self._lock:
@@ -210,6 +218,19 @@ class ProcessExecutor:
             # futures after shutdown"); work units are pure, so rerun
             # inline — a genuine RuntimeError from fn re-raises here
             return [fn(*args) for args in jobs]
+
+    def prime(self) -> None:
+        """Fork/spawn the worker pool *now*.
+
+        The lazy first-use fork prefers plain ``fork()`` only while the
+        process is single-threaded; a pipeline whose stages run on a
+        thread pool would therefore pay the slower forkserver/spawn
+        path (plus its import replay) inside the first *timed* encode.
+        Priming from the main thread — before any stage threads exist —
+        keeps the fast fork and moves the pool start-up cost out of the
+        measurement entirely.
+        """
+        self._ensure_pool()
 
     def shutdown(self) -> None:
         with self._lock:

@@ -7,8 +7,12 @@ buffers by reference the way the thread pool does.  Instead, the parent
 segment and ships each worker a tiny picklable **ref** (segment name,
 shape, dtype); workers attach, compute, and return only their (fresh)
 results.  Pickling traffic is therefore proportional to the number of
-work units, not to the payload size — the property the ISSUE of a
-GIL-bound lockstep decode needs to scale across processes.
+work units, not to the operand size.  Three fan-outs ride this today:
+the lockstep Huffman *decode* (payload words staged, ranges of sync
+blocks per worker), the block-parallel Huffman *encode* (the int64
+symbol array staged, contiguous sync-aligned ranges per worker, word
+packs OR-merged back on the coordinator), and the zlib sub-block
+deflate/inflate (chunk extents per worker).
 
 Two staging helpers:
 

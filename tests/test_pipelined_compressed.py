@@ -1,0 +1,427 @@
+"""Fully-overlapped compressed-mode streaming (PR 4).
+
+Contracts:
+
+* the closed-loop prediction split (``prepare``/``encode_prepared`` on
+  the spatial compressor, ``predict_residual``/``encode_residual`` on
+  the time-series compressor, ``predict_step``/``encode_predicted`` on
+  the stream writer) is *bit-identical* to the fused ``append`` path —
+  containers, headers, and reconstructions;
+* a pipelined compressed stream (predict → encode → write through
+  :func:`run_pipeline`'s in-order stage gates) emits byte-identical
+  step files for every executor backend, including ≥3-step code-book
+  delta chains, and stays readable by a live-following consumer;
+* the process backend's Huffman block *encode* (shm-staged symbol
+  ranges, coordinator prefix sum, offset-shift word-pack merge) is
+  bit-identical to serial;
+* :meth:`StepStreamReader.refresh` rejects shrunken (torn mid-replace)
+  manifest snapshots, so compressed-mode random access keeps rolling
+  forward from the nearest key frame.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+import repro.compress.huffman as H
+from repro.cluster.pipeline import run_pipeline
+from repro.compress.mgard import MgardCompressor
+from repro.compress.timeseries import TimeSeriesCompressor
+from repro.core.grid import hierarchy_for
+from repro.io.stream import StepStreamReader, StepStreamWriter, StreamError
+from repro.io.workflow import run_streaming_pipeline
+from repro.parallel import get_executor
+from repro.workloads.synthetic import skewed_bins
+
+BACKEND_SPECS = ("serial", "thread:4", "process:2")
+
+
+def drifting_frames(rng, shape=(17, 17), n=8, amp=0.04):
+    base = rng.standard_normal(shape).cumsum(0).cumsum(1)
+    drift = np.roll(base, 1, axis=0) * amp
+    return [base + t * drift for t in range(n)], base
+
+
+# ----------------------------------------------------------------------
+# the prediction split, layer by layer
+
+
+class TestPredictionSplit:
+    def test_prepare_encode_equals_compress(self, rng):
+        data = rng.standard_normal((17, 17)).cumsum(0).cumsum(1)
+        tol = 1e-3 * float(np.abs(data).max())
+        comp = MgardCompressor.for_shape(data.shape, tol, backend="huffman")
+        fused = comp.compress(data)
+        split = comp.encode_prepared(comp.prepare(data))
+        assert fused.payloads == split.payloads
+        assert json.dumps(fused.headers) == json.dumps(split.headers)
+        assert fused.steps == split.steps
+
+    def test_reconstruct_prepared_matches_decompress(self, rng):
+        data = rng.standard_normal((9, 9, 9)).cumsum(0)
+        tol = 1e-2 * float(np.abs(data).max())
+        comp = MgardCompressor.for_shape(data.shape, tol)
+        prep = comp.prepare(data)
+        recon = comp.reconstruct_prepared(prep)
+        blob = comp.encode_prepared(prep)
+        # entropy coding is lossless, so the feedback path must equal
+        # the full round trip *bit for bit*, not just within tol
+        np.testing.assert_array_equal(recon, comp.decompress(blob))
+        assert np.abs(recon - data).max() <= tol
+
+    def test_prepare_rejects_wrong_shape_on_encode(self, rng):
+        a = MgardCompressor.for_shape((17, 17), 1e-3)
+        b = MgardCompressor.for_shape((33, 17), 1e-3)
+        prep = a.prepare(rng.standard_normal((17, 17)))
+        with pytest.raises(ValueError, match="shape"):
+            b.encode_prepared(prep)
+
+    def test_timeseries_split_equals_fused(self, rng):
+        frames, base = drifting_frames(rng, n=9)
+        tol = 1e-3 * float(np.abs(base).max())
+        hier = hierarchy_for(base.shape)
+
+        fused = TimeSeriesCompressor(hier, tol, key_interval=4, backend="huffman")
+        split = TimeSeriesCompressor(hier, tol, key_interval=4, backend="huffman")
+        for t, frame in enumerate(frames):
+            blob_f, key_f = fused.append(frame)
+            plan = split.predict_residual(frame)
+            assert plan.index == t
+            blob_s, key_s = split.encode_residual(plan)
+            assert key_f == key_s
+            assert blob_f.payloads == blob_s.payloads
+            assert json.dumps(blob_f.headers) == json.dumps(blob_s.headers)
+
+    def test_prediction_runs_ahead_of_encode(self, rng):
+        """The decoded-feedback dependency lives only in the predict
+        half: all frames can be predicted before any is encoded."""
+        frames, base = drifting_frames(rng, n=6)
+        tol = 1e-3 * float(np.abs(base).max())
+        hier = hierarchy_for(base.shape)
+        ref = TimeSeriesCompressor(hier, tol, key_interval=3, backend="huffman")
+        ahead = TimeSeriesCompressor(hier, tol, key_interval=3, backend="huffman")
+        plans = [ahead.predict_residual(f) for f in frames]  # all up front
+        for frame, plan in zip(frames, plans):
+            blob_f, _ = ref.append(frame)
+            blob_a, _ = ahead.encode_residual(plan)
+            assert blob_f.payloads == blob_a.payloads
+            assert json.dumps(blob_f.headers) == json.dumps(blob_a.headers)
+
+
+# ----------------------------------------------------------------------
+# pipelined compressed streams: bit identity + live reader
+
+
+class TestPipelinedCompressedStream:
+    @pytest.mark.parametrize("spec", BACKEND_SPECS)
+    def test_pipelined_equals_fused_per_backend(self, rng, tmp_path, spec):
+        """predict→encode→write through the overlapped pipeline emits
+        the same bytes as fused append, for every codec backend —
+        across a key interval long enough for ≥3-step code-book delta
+        chains (key, then 5 chained residual steps)."""
+        frames, base = drifting_frames(rng, n=7, amp=0.06)
+        tol = 1e-3 * float(np.abs(base).max())
+
+        fused_dir = tmp_path / f"fused-{spec.replace(':', '_')}"
+        fused = StepStreamWriter(
+            fused_dir, base.shape, tol=tol, key_interval=6, executor=spec
+        )
+        for f in frames:
+            fused.append(f)
+
+        m = run_streaming_pipeline(
+            frames,
+            workdir=tmp_path / f"pipe-{spec.replace(':', '_')}",
+            executor="thread:4",
+            keep_stream=True,
+            mode="compressed",
+            tol=tol,
+            key_interval=6,
+            codec_executor=spec,
+        )
+        assert m.mode == "compressed" and m.backend == "huffman"
+        assert m.stage_names == ("predict", "encode", "write")
+        pipe_dir = tmp_path / f"pipe-{spec.replace(':', '_')}" / "pipelined"
+        for t in range(len(frames)):
+            name = f"step_{t:06d}.mgz"
+            assert (pipe_dir / name).read_bytes() == (
+                fused_dir / name
+            ).read_bytes(), f"{spec}: step {t} differs"
+        # chain actually contains table references (not all full tables)
+        reader = StepStreamReader(pipe_dir)
+        for t in range(len(frames)):
+            assert np.abs(reader.read_step(t) - frames[t]).max() <= tol
+
+    def test_delta_chain_headers_reference_books(self, rng, tmp_path):
+        """≥3 consecutive non-key steps ship table_ref (or ref+delta)
+        headers, never a fresh full table each."""
+        frames, base = drifting_frames(rng, n=6)
+        tol = 1e-3 * float(np.abs(base).max())
+        w = StepStreamWriter(tmp_path, base.shape, tol=tol, key_interval=6)
+        preds = [w.predict_step(f) for f in frames]
+        for pred in preds:
+            w.commit_step(w.encode_predicted(pred))
+        from repro.compress.fileio import load_compressed
+
+        refs = 0
+        for t in range(2, 6):  # steps 2.. ride the chain re-based at 1
+            blob, _ = load_compressed(tmp_path / f"step_{t:06d}.mgz")
+            for seg in blob.headers[0]["segments"]:
+                if "table_ref" in seg:
+                    refs += 1
+        assert refs > 0
+
+    def test_reader_follows_live_pipelined_producer(self, rng, tmp_path):
+        frames, base = drifting_frames(rng, n=8)
+        tol = 1e-3 * float(np.abs(base).max())
+        writer = StepStreamWriter(tmp_path, base.shape, tol=tol, key_interval=3)
+        started = threading.Event()
+
+        def predict(frame):
+            started.set()
+            return writer.predict_step(frame)
+
+        def encode(pred):
+            return writer.encode_predicted(pred)
+
+        def write(prep):
+            return writer.commit_step(prep)
+
+        worker = threading.Thread(
+            target=run_pipeline,
+            args=([predict, encode, write], frames),
+            kwargs={"executor": "thread:4"},
+        )
+        worker.start()
+        try:
+            started.wait(timeout=30)
+            reader = None
+            seen = 0
+            deadline = 300
+            while seen < len(frames) and deadline:
+                if reader is None:
+                    try:
+                        reader = StepStreamReader(tmp_path)
+                    except StreamError:
+                        pass  # manifest not yet written
+                else:
+                    n = reader.refresh()
+                    while seen < n:
+                        field = reader.read_step(seen)
+                        assert np.abs(field - frames[seen]).max() <= tol
+                        seen += 1
+                if seen < len(frames):
+                    deadline -= 1
+                    threading.Event().wait(0.01)
+        finally:
+            worker.join(timeout=60)
+        assert seen == len(frames)
+        assert not worker.is_alive()
+
+    def test_unknown_mode_rejected(self, rng):
+        frames, _ = drifting_frames(rng, n=1)
+        with pytest.raises(ValueError, match="mode"):
+            run_streaming_pipeline(frames, mode="zstd")
+
+    def test_predict_step_requires_compressed_stream(self, rng, tmp_path):
+        base = rng.standard_normal((17, 17))
+        w = StepStreamWriter(tmp_path, base.shape)  # refactored
+        with pytest.raises(StreamError, match="compressed"):
+            w.predict_step(base)
+        with pytest.raises(StreamError, match="compressed"):
+            w.encode_predicted(None)
+
+
+# ----------------------------------------------------------------------
+# process-parallel Huffman encode
+
+
+class TestProcessHuffmanEncode:
+    def test_bit_identical_odd_length_with_escapes(self, rng):
+        n = 3 * H._BLOCK_SYMBOLS + 1234  # not block- or sync-aligned
+        vals = skewed_bins(n)
+        book_src = skewed_bins(n // 2)
+        code = H.build_code(book_src, reserve_escape=True)
+        vals[:: n // 64] = rng.integers(2**50, 2**60, vals[:: n // 64].size)
+        proc = get_executor("process:2")
+        ps, hs = H.huffman_encode(vals, code=code)
+        pp, hp = H.huffman_encode(vals, code=code, executor=proc)
+        assert ps == pp
+        assert json.dumps(hs) == json.dumps(hp)
+        np.testing.assert_array_equal(H.huffman_decode(pp, hp), vals)
+
+    def test_stats_and_guard_parity(self, rng):
+        n = 4 * H._BLOCK_SYMBOLS
+        base = skewed_bins(n)
+        code = H.build_code(base, reserve_escape=True)
+        data = base.copy()
+        data[::53] = rng.integers(2**40, 2**50, data[::53].size)
+        proc = get_executor("process:2")
+        ss, sp = {}, {}
+        p1, h1 = H.huffman_encode(data, code=code, stats=ss)
+        p2, h2 = H.huffman_encode(data, code=code, stats=sp, executor=proc)
+        assert p1 == p2 and h1 == h2
+        assert ss == sp and sp["n_escaped"] > 0
+        tight = {"max_bits_per_symbol": 0.01}
+        assert H.huffman_encode(data, code=code, executor=proc, guard=tight) == (
+            None,
+            None,
+        )
+
+    def test_local_guard_skip_with_global_pass_repacks(self, rng):
+        """Escapes concentrated in one worker's range trip its local
+        pack-skip hint while the stream globally passes the guard; the
+        coordinator must re-pack that range and still emit serial
+        bytes."""
+        n = 4 * H._BLOCK_SYMBOLS
+        base = skewed_bins(n)
+        code = H.build_code(base, reserve_escape=True)
+        data = base.copy()
+        tail = slice(3 * n // 4, None)  # all escapes land in range 2 of 2
+        data[tail] = rng.integers(2**40, 2**50, n - 3 * n // 4)
+        proc = get_executor("process:2")
+        # pick a bound between the global rate and the hot range's rate
+        _, href = H.huffman_encode(data, code=code)
+        global_bps = href["bits"] / n
+        guard = {"max_bits_per_symbol": global_bps * 1.2}
+        ps, hs = H.huffman_encode(data, code=code, guard=guard)
+        assert ps is not None  # global pass
+        pp, hp = H.huffman_encode(data, code=code, guard=guard, executor=proc)
+        assert ps == pp and hs == hp
+
+    def test_escapeless_book_raises_through_pool(self):
+        code = H.build_code(np.arange(8, dtype=np.int64))
+        alien = np.full(3 * H._BLOCK_SYMBOLS, 99, dtype=np.int64)
+        with pytest.raises(ValueError, match="escape"):
+            H.huffman_encode(alien, code=code, executor=get_executor("process:2"))
+        # ... and the guard turns the same condition into a rebuild signal
+        assert H.huffman_encode(
+            alien,
+            code=code,
+            executor=get_executor("process:2"),
+            guard={"max_bits_per_symbol": 64},
+        ) == (None, None)
+
+    def test_shift_words_is_pack_at_offset(self, rng):
+        """Packing at bit offset s == packing at 0 then shifting by s."""
+        vals = skewed_bins(2048)
+        code = H.build_code(vals)
+        c_codes, c_lens, _, _ = H._chunkify(vals, code)
+        offsets = np.zeros(c_codes.size + 1, dtype=np.int64)
+        np.cumsum(c_lens, out=offsets[1:])
+        at_zero = H._pack_chunks_words(c_codes, c_lens, offsets)
+        for s in (0, 1, 17, 63):
+            direct = H._pack_chunks_words(c_codes, c_lens, offsets + s)
+            shifted = H._shift_words(at_zero, s)
+            m = min(direct.size, shifted.size)
+            np.testing.assert_array_equal(shifted[:m], direct[:m])
+            assert not np.any(shifted[m:]) and not np.any(direct[m:])
+
+    def test_shm_unavailable_falls_back(self, rng, monkeypatch):
+        from repro.parallel import shm
+
+        def boom(*a, **k):
+            raise shm.ShmUnavailable("nope")
+
+        monkeypatch.setattr(shm, "share_array", boom)
+        vals = skewed_bins(3 * H._BLOCK_SYMBOLS)
+        ps, hs = H.huffman_encode(vals)
+        pp, hp = H.huffman_encode(vals, executor=get_executor("process:2"))
+        assert ps == pp and hs == hp
+
+
+# ----------------------------------------------------------------------
+# torn-manifest tolerance on the random-access path
+
+
+class TestReaderShrunkenManifest:
+    def _stream(self, rng, tmp_path, n=7):
+        frames, base = drifting_frames(rng, n=n)
+        tol = 1e-3 * float(np.abs(base).max())
+        w = StepStreamWriter(tmp_path, base.shape, tol=tol, key_interval=3)
+        for f in frames:
+            w.append(f)
+        return frames, tol
+
+    def test_shrunken_snapshot_kept_and_random_access_rolls(self, rng, tmp_path):
+        frames, tol = self._stream(rng, tmp_path)
+        reader = StepStreamReader(tmp_path)
+        assert np.abs(reader.read_step(6) - frames[6]).max() <= tol
+
+        manifest = tmp_path / "manifest.json"
+        full = manifest.read_text()
+        doc = json.loads(full)
+        doc["steps"] = doc["steps"][:4]  # mid-replace stale view
+        manifest.write_text(json.dumps(doc))
+        assert reader.refresh() == len(frames)  # longer snapshot kept
+        # random access past the shrunken view still rolls from the
+        # nearest key frame (step 3 here), through undamaged step files
+        assert np.abs(reader.read_step(5) - frames[5]).max() <= tol
+        manifest.write_text(full)
+        assert reader.refresh() == len(frames)
+        assert np.abs(reader.read_step(6) - frames[6]).max() <= tol
+
+    def test_torn_text_then_random_access(self, rng, tmp_path):
+        frames, tol = self._stream(rng, tmp_path)
+        reader = StepStreamReader(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        full = manifest.read_text()
+        manifest.write_text(full[: len(full) // 2])  # torn JSON
+        assert reader.refresh() == len(frames)
+        assert np.abs(reader.read_step(4) - frames[4]).max() <= tol
+        manifest.write_text(full)
+
+    def test_persistently_shrunken_stream_raises(self, rng, tmp_path):
+        frames, _ = self._stream(rng, tmp_path)
+        reader = StepStreamReader(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        doc = json.loads(manifest.read_text())
+        doc["steps"] = doc["steps"][:2]
+        manifest.write_text(json.dumps(doc))
+        with pytest.raises(StreamError, match="behind"):
+            for _ in range(20):
+                reader.refresh()
+
+    def test_growth_resets_failure_count(self, rng, tmp_path):
+        frames, _ = self._stream(rng, tmp_path)
+        reader = StepStreamReader(tmp_path)
+        manifest = tmp_path / "manifest.json"
+        full = manifest.read_text()
+        doc = json.loads(full)
+        doc["steps"] = doc["steps"][:3]
+        shrunk = json.dumps(doc)
+        for _ in range(5):
+            manifest.write_text(shrunk)
+            assert reader.refresh() == len(frames)
+            manifest.write_text(full)
+            assert reader.refresh() == len(frames)  # healthy poll resets
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+class TestPipelineCli:
+    def test_mode_and_json(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "ci")
+        out = tmp_path / "BENCH_pipeline.json"
+        assert main(["pipeline", "--mode", "compressed", "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "compressed mode" in text and "predict" in text
+        doc = json.loads(out.read_text())
+        assert doc["mode"] == "compressed"
+        assert doc["backend"] == "huffman"
+        assert doc["cpu_count"] >= 1
+        assert doc["stage_names"] == ["predict", "encode", "write"]
+        assert doc["modeled_makespan_s"] <= doc["modeled_sequential_s"] + 1e-12
+
+    def test_default_mode_refactored(self, capsys, monkeypatch):
+        from repro.cli import main
+
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "ci")
+        assert main(["pipeline"]) == 0
+        assert "refactored mode" in capsys.readouterr().out
