@@ -72,12 +72,17 @@ def _fig10() -> str:
     return "\n".join(parts)
 
 
-def _pipeline(mode: str = "refactored", json_out: str | None = None) -> str:
+def _pipeline(
+    mode: str = "refactored",
+    json_out: str | None = None,
+    shards: int | None = None,
+) -> str:
     """The measured streaming pipeline; optionally emit its JSON record."""
     from repro.compress.executor import default_spec
 
-    codec = default_spec() if mode == "compressed" else None
-    m = E.fig10_measured_pipeline(mode=mode, codec_executor=codec)
+    sharded = shards is not None and shards > 1
+    codec = default_spec() if (mode == "compressed" or sharded) else None
+    m = E.fig10_measured_pipeline(mode=mode, codec_executor=codec, shards=shards)
     text = E.format_fig10_pipeline(m)
     if json_out:
         import json
@@ -90,6 +95,49 @@ def _pipeline(mode: str = "refactored", json_out: str | None = None) -> str:
         path.write_text(json.dumps(record, indent=2) + "\n")
         text += f"\n[json record written to {path}]"
     return text
+
+
+def _shards() -> str:
+    """Shard-parallel compression across executor backends (byte-identical)."""
+    import os
+    import time
+
+    import numpy as np
+
+    from repro.cluster.sharded import ShardedCompressor, encode_shards
+    from repro.compress.executor import available_workers
+    from repro.workloads.grayscott import simulate
+
+    side = 17 if os.environ.get("REPRO_BENCH_SCALE") == "ci" else 33
+    shape = (side, side, side)
+    data = simulate(shape, steps=40, params="spots")
+    tol = 1e-3 * float(data.max() - data.min())
+    n_shards = 4
+    sc = ShardedCompressor(shape, tol, n_shards=n_shards, backend="huffman")
+    lines = [
+        f"shard-parallel compression on {side}^3 ({n_shards} shards along "
+        f"axis 0, {available_workers()} workers):"
+    ]
+    reference = None
+    for spec in ("serial", "thread", "process:2"):
+        t0 = time.perf_counter()
+        payloads = encode_shards(data, sc.plan, sc.codec, spec)
+        dt = time.perf_counter() - t0
+        if reference is None:
+            reference = payloads
+        identical = payloads == reference
+        lines.append(
+            f"  {spec:10s} encode {dt * 1e3:8.1f} ms   "
+            f"{sum(len(p) for p in payloads):8d} bytes   "
+            f"bit-identical: {identical}"
+        )
+        assert identical, "shard containers must not depend on the executor"
+    frame = sc.compress(data)
+    err = float(np.abs(sc.decompress(frame) - data).max())
+    lines.append(
+        f"  round-trip L-inf error {err:.3e} <= tol {tol:.3e}: {err <= tol}"
+    )
+    return "\n".join(lines)
 
 
 def _fig11() -> str:
@@ -248,7 +296,12 @@ EXPERIMENTS = {
     "pipeline": (
         _pipeline,
         "measured streaming-write pipeline vs modeled makespan "
-        "(--mode refactored|compressed, --json PATH)",
+        "(--mode refactored|compressed, --shards N, --json PATH)",
+    ),
+    "shards": (
+        _shards,
+        "shard-parallel compression across executor backends "
+        "(byte-identical containers)",
     ),
     "fig11": (_fig11, "MGARD compression stage breakdown"),
     "offload": (_offload, "CPU-app offload break-even analysis (paper §I)"),
@@ -288,12 +341,21 @@ def main(argv: list[str] | None = None) -> int:
         "temporal prediction (default: refactored)",
     )
     parser.add_argument(
+        "--shards",
+        default=None,
+        type=int,
+        metavar="N",
+        help="for the 'pipeline' experiment: split every step into N "
+        "shard segments along axis 0 (shard→encode→write chain; the "
+        "per-shard fan-out runs on the codec executor)",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
         help="for the 'pipeline' experiment: also write the measured "
-        "record (mode, backend, cpu_count, stage seconds, measured vs "
-        "modeled walls) as JSON to PATH",
+        "record (mode, backend, shards, cpu_count, stage seconds, "
+        "measured vs modeled walls) as JSON to PATH",
     )
     args = parser.parse_args(argv)
     if args.executor is not None:
@@ -319,7 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     try:
         if args.experiment == "pipeline":
-            print(_pipeline(mode=args.mode, json_out=args.json))
+            print(_pipeline(mode=args.mode, json_out=args.json, shards=args.shards))
             return 0
         print(EXPERIMENTS[args.experiment][0]())
     except BrokenPipeError:  # e.g. `repro-bench fig7 | head`

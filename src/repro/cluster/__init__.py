@@ -2,6 +2,15 @@
 
 from .pipeline import PipelineModel, workflow_pipeline
 from .partition import BlockPlan, BlockRefactorer, plan_blocks
+from .sharded import (
+    ShardCodec,
+    ShardedCompressor,
+    ShardedFrame,
+    decode_shard,
+    encode_shards,
+    plan_shards,
+    shard_tolerance,
+)
 from .node import DESKTOP, NodeSpec, SUMMIT_NODE, node_speedup, partition_shape
 from .scaling import (
     WeakScalingPoint,
@@ -18,13 +27,20 @@ __all__ = [
     "NodeSpec",
     "PipelineModel",
     "SUMMIT_NODE",
+    "ShardCodec",
+    "ShardedCompressor",
+    "ShardedFrame",
     "SimComm",
     "SpmdError",
     "WeakScalingPoint",
+    "decode_shard",
+    "encode_shards",
     "node_speedup",
     "partition_shape",
     "plan_blocks",
+    "plan_shards",
     "run_spmd",
+    "shard_tolerance",
     "shape_for_bytes_2d",
     "shape_for_bytes_3d",
     "weak_scaling",

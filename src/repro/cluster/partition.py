@@ -15,6 +15,7 @@ and degrades gracefully to a single block when the data fits.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -55,8 +56,13 @@ def plan_blocks(
     """Split ``shape`` along axis 0 so each block's footprint fits.
 
     Uses the same footprint model as the engines (data + working buffer
-    + solver vectors).  Blocks prefer ``2^k + 1``-friendly row counts
-    when possible but correctness never depends on it.
+    + solver vectors).  The row budget is snapped down to the nearest
+    ``2^k + 1`` when that costs less than 25 % of it, so most blocks get
+    multigrid-friendly row counts; correctness never depends on the
+    snap.  No block has fewer than 2 rows unless that is arithmetically
+    unavoidable (``n0`` odd with a 2-row budget); such 1-row blocks
+    still round-trip losslessly — a 1-row hierarchy simply cannot
+    coarsen along axis 0.
     """
     if memory_bytes <= 0:
         raise ValueError("memory budget must be positive")
@@ -71,16 +77,25 @@ def plan_blocks(
             f"cannot fit even a 2-row block of {shape} in {memory_bytes:.3g} bytes"
         )
     max_rows = max(1, min(max_rows, n0))
+    if 3 <= max_rows < n0:
+        # prefer 2^k+1-friendly row counts: deeper per-block hierarchies
+        # for nearly the same footprint.  Only when blocking is needed
+        # at all — a grid that fits whole stays a single block.
+        snapped = 2 ** int(math.floor(math.log2(max_rows - 1))) + 1
+        if snapped > 0.75 * max_rows:
+            max_rows = snapped
     starts, stops = [], []
     pos = 0
     while pos < n0:
-        stop = min(pos + max_rows, n0)
-        # avoid a trailing 1-row remainder block (cannot coarsen)
-        if n0 - stop == 1 and stop - pos > 1:
-            stop -= 1
+        take = min(max_rows, n0 - pos)
+        if n0 - pos - take == 1 and take >= 3:
+            # donate a row so the tail block gets 2 rows instead of 1;
+            # with take == 2 the donation would just move the 1-row
+            # block here, so the (unavoidable) 1-row tail is kept
+            take -= 1
         starts.append(pos)
-        stops.append(stop)
-        pos = stop
+        stops.append(pos + take)
+        pos += take
     return BlockPlan(shape=tuple(shape), starts=tuple(starts), stops=tuple(stops))
 
 

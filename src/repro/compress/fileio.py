@@ -83,26 +83,41 @@ def save_compressed(
     return len(_MAGIC) + 8 + len(hbytes) + offset
 
 
-def load_compressed(path: str | Path) -> tuple[CompressedData, TensorHierarchy]:
-    """Read a compressed file back into (blob, matching hierarchy)."""
-    path = Path(path)
-    with open(path, "rb") as f:
+def load_compressed(source) -> tuple[CompressedData, TensorHierarchy]:
+    """Read a compressed container back into (blob, matching hierarchy).
+
+    ``source`` may be a path, an open binary stream, or a bytes-like
+    payload — the latter two are how shard segments embedded in a
+    sharded step container decode without touching the filesystem.
+    """
+    import io as _io
+
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        f, close, name = _io.BytesIO(source), True, "<bytes>"
+    elif hasattr(source, "read"):
+        f, close, name = source, False, getattr(source, "name", "<stream>")
+    else:
+        f, close, name = open(Path(source), "rb"), True, str(source)
+    try:
         magic = f.read(len(_MAGIC))
         if magic != _MAGIC:
-            raise CompressedFileError(f"bad magic in {path}")
+            raise CompressedFileError(f"bad magic in {name}")
         (hlen,) = struct.unpack("<Q", f.read(8))
         try:
             header = json.loads(f.read(hlen).decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as e:
-            raise CompressedFileError(f"corrupt header in {path}") from e
+            raise CompressedFileError(f"corrupt header in {name}") from e
         payloads = []
         for ext in header["extents"]:
             raw = f.read(ext["nbytes"])
             if len(raw) != ext["nbytes"]:
-                raise CompressedFileError(f"truncated payload in {path}")
+                raise CompressedFileError(f"truncated payload in {name}")
             if zlib.crc32(raw) != ext["crc32"]:
-                raise CompressedFileError(f"checksum mismatch in {path}")
+                raise CompressedFileError(f"checksum mismatch in {name}")
             payloads.append(raw)
+    finally:
+        if close:
+            f.close()
     shape = tuple(header["shape"])
     coords = header.get("coords")
     hier = hierarchy_for(

@@ -105,6 +105,7 @@ def fig10_measured_pipeline(
     backend: str = "huffman",
     key_interval: int = 4,
     codec_executor: str | None = None,
+    shards: int | None = None,
 ) -> MeasuredPipeline:
     """The Fig. 10 streaming write, executed with measured overlap.
 
@@ -118,7 +119,9 @@ def fig10_measured_pipeline(
     calibrated from the serial run.  ``executor=None`` picks a small
     thread pool (the pipeline needs one thread per stage to overlap);
     ``codec_executor`` schedules the compressed mode's entropy-stage
-    fan-out.  ``shape``/``n_steps``/``sim_steps`` default by
+    fan-out — or, with ``shards > 1``, the sharded chain's per-shard
+    encode fan-out (shard → encode → write over shard-partitioned
+    steps).  ``shape``/``n_steps``/``sim_steps`` default by
     ``REPRO_BENCH_SCALE`` (``ci``: 17³ × 5 steps; otherwise 33³ × 8) —
     the single scale knob the CLI, the CI smoke step, and
     ``benchmarks/bench_fig10_pipeline.py`` all share.
@@ -145,6 +148,7 @@ def fig10_measured_pipeline(
         backend=backend,
         key_interval=key_interval,
         codec_executor=codec_executor,
+        shards=shards,
     )
 
 
@@ -172,8 +176,9 @@ def format_fig10_pipeline(m: MeasuredPipeline) -> str:
         ["", "sequential", "pipelined", "overlap gain"],
         rows,
         title=(
-            f"Fig 10 streaming write, executed ({m.mode} mode): "
-            f"{m.n_steps} steps, stages {per_stage} "
+            f"Fig 10 streaming write, executed ({m.mode} mode"
+            + (f", {m.shards} shards/step" if m.shards else "")
+            + f"): {m.n_steps} steps, stages {per_stage} "
             f"(bottleneck: {m.bottleneck})"
         ),
     )

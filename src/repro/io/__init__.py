@@ -4,12 +4,16 @@ from .container import (
     ContainerError,
     RefactoredFileReader,
     RefactoredFileWriter,
+    ShardedFileReader,
+    read_refactored_stream,
     write_refactored,
+    write_sharded_stream,
 )
 from .lifecycle import AnalysisRequest, LifecycleOutcome, simulate_lifecycle, typical_request_trace
 from .stream import (
     PredictedStep,
     PreparedStep,
+    ShardedStep,
     StepStreamReader,
     StepStreamWriter,
     StreamError,
@@ -37,6 +41,8 @@ __all__ = [
     "PreparedStep",
     "RefactoredFileReader",
     "RefactoredFileWriter",
+    "ShardedFileReader",
+    "ShardedStep",
     "StepStreamReader",
     "StepStreamWriter",
     "StorageTier",
@@ -44,9 +50,11 @@ __all__ = [
     "TieredStorage",
     "WorkflowPoint",
     "model_workflow",
+    "read_refactored_stream",
     "run_streaming_pipeline",
     "run_workflow_demo",
     "simulate_lifecycle",
     "typical_request_trace",
     "write_refactored",
+    "write_sharded_stream",
 ]

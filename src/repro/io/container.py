@@ -29,16 +29,45 @@ from ..core.grid import TensorHierarchy, hierarchy_for
 __all__ = [
     "RefactoredFileWriter",
     "RefactoredFileReader",
+    "ShardedFileReader",
     "write_refactored",
     "write_refactored_stream",
+    "read_refactored_stream",
+    "write_sharded_stream",
     "ContainerError",
 ]
 
 _MAGIC = b"RPRC\x01\x00"
+_SHARD_MAGIC = b"RPSH\x01\x00"
 
 
 class ContainerError(RuntimeError):
     """Malformed or inconsistent container file."""
+
+
+def _read_header(path: Path, magic: bytes) -> tuple[dict, int]:
+    """Parse a container file's (JSON header, payload offset)."""
+    with open(path, "rb") as f:
+        if f.read(len(magic)) != magic:
+            raise ContainerError(f"bad magic in {path}")
+        (hlen,) = struct.unpack("<Q", f.read(8))
+        try:
+            header = json.loads(f.read(hlen).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            raise ContainerError(f"corrupt header in {path}") from e
+    return header, len(magic) + 8 + hlen
+
+
+def _ranged_read(path: Path, offset: int, nbytes: int, crc32: int | None, what: str) -> bytes:
+    """One extent of a container file, length- and checksum-verified."""
+    with open(path, "rb") as f:
+        f.seek(offset)
+        raw = f.read(nbytes)
+    if len(raw) != nbytes:
+        raise ContainerError(f"truncated {what} in {path}")
+    if crc32 is not None and zlib.crc32(raw) != crc32:
+        raise ContainerError(f"checksum mismatch for {what} in {path}")
+    return raw
 
 
 @dataclass
@@ -104,16 +133,7 @@ class RefactoredFileReader:
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
-        with open(self.path, "rb") as f:
-            magic = f.read(len(_MAGIC))
-            if magic != _MAGIC:
-                raise ContainerError(f"bad magic in {self.path}")
-            (hlen,) = struct.unpack("<Q", f.read(8))
-            try:
-                self.header = json.loads(f.read(hlen).decode())
-            except (UnicodeDecodeError, json.JSONDecodeError) as e:
-                raise ContainerError(f"corrupt header in {self.path}") from e
-            self._payload_start = len(_MAGIC) + 8 + hlen
+        self.header, self._payload_start = _read_header(self.path, _MAGIC)
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -135,13 +155,13 @@ class RefactoredFileReader:
         if not 0 <= l < self.n_classes:
             raise ContainerError(f"class {l} out of range [0, {self.n_classes})")
         meta = self.header["classes"][l]
-        with open(self.path, "rb") as f:
-            f.seek(self._payload_start + meta["offset"])
-            raw = f.read(meta["nbytes"])
-        if len(raw) != meta["nbytes"]:
-            raise ContainerError(f"truncated class {l} in {self.path}")
-        if verify and zlib.crc32(raw) != meta["crc32"]:
-            raise ContainerError(f"checksum mismatch for class {l} in {self.path}")
+        raw = _ranged_read(
+            self.path,
+            self._payload_start + meta["offset"],
+            meta["nbytes"],
+            meta["crc32"] if verify else None,
+            f"class {l}",
+        )
         return np.frombuffer(raw, dtype=np.float64).copy()
 
     def read_classes(self, k: int | None = None, verify: bool = True) -> list[np.ndarray]:
@@ -170,3 +190,135 @@ class RefactoredFileReader:
 def write_refactored(path: str | Path, cc: CoefficientClasses, attrs: dict | None = None) -> int:
     """Convenience wrapper around :class:`RefactoredFileWriter`."""
     return RefactoredFileWriter(path).write(cc, attrs=attrs)
+
+
+def read_refactored_stream(data, verify: bool = True) -> tuple[dict, list[np.ndarray]]:
+    """Parse an in-memory refactored container; returns (header, classes).
+
+    The bytes-level counterpart of :class:`RefactoredFileReader` for
+    containers that live inside another file — a sharded step's shard
+    segments above all — where re-opening a path per class makes no
+    sense.  All classes are materialized (a shard is the granularity of
+    a region read; prefix reads stay a whole-file concern).
+    """
+    view = memoryview(data)
+    if bytes(view[: len(_MAGIC)]) != _MAGIC:
+        raise ContainerError("bad magic in refactored payload")
+    (hlen,) = struct.unpack_from("<Q", view, len(_MAGIC))
+    start = len(_MAGIC) + 8
+    try:
+        header = json.loads(bytes(view[start : start + hlen]).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as e:
+        raise ContainerError("corrupt header in refactored payload") from e
+    payload_start = start + hlen
+    classes = []
+    for l, meta in enumerate(header["classes"]):
+        lo = payload_start + meta["offset"]
+        raw = view[lo : lo + meta["nbytes"]]
+        if raw.nbytes != meta["nbytes"]:
+            raise ContainerError(f"truncated class {l} in refactored payload")
+        if verify and zlib.crc32(raw) != meta["crc32"]:
+            raise ContainerError(f"checksum mismatch for class {l}")
+        classes.append(np.frombuffer(raw, dtype=np.float64).copy())
+    return header, classes
+
+
+# ----------------------------------------------------------------------
+# sharded step containers: one step = a table of shard segments
+
+
+def write_sharded_stream(
+    f,
+    shape: tuple[int, ...],
+    payload_mode: str,
+    bounds,
+    payloads,
+    attrs: dict | None = None,
+) -> int:
+    """Serialize shard segments into one sharded step container.
+
+    ``bounds`` is the per-shard ``(start, stop)`` row range along axis
+    0 and ``payloads`` the matching self-contained shard containers
+    (``.rprc`` bytes for ``payload_mode="refactored"``, ``.mgz`` bytes
+    for ``"compressed"``).  The header's shard table records offsets,
+    sizes, row ranges, and CRC32s, so a region read seeks straight to
+    the shards covering a sub-volume and never touches the rest.
+    """
+    if len(bounds) != len(payloads):
+        raise ValueError("one payload per shard bound required")
+    shards = []
+    offset = 0
+    for (start, stop), payload in zip(bounds, payloads):
+        shards.append(
+            {
+                "start": int(start),
+                "stop": int(stop),
+                "offset": offset,
+                "nbytes": len(payload),
+                "crc32": zlib.crc32(payload),
+            }
+        )
+        offset += len(payload)
+    header = {
+        "shape": list(shape),
+        "axis": 0,
+        "mode": payload_mode,
+        "shards": shards,
+        "attrs": attrs or {},
+    }
+    hbytes = json.dumps(header).encode()
+    f.write(_SHARD_MAGIC)
+    f.write(struct.pack("<Q", len(hbytes)))
+    f.write(hbytes)
+    for payload in payloads:
+        f.write(payload)
+    return len(_SHARD_MAGIC) + 8 + len(hbytes) + offset
+
+
+class ShardedFileReader:
+    """Read shard segments (or the subset covering a region) of a step."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.header, self._payload_start = _read_header(self.path, _SHARD_MAGIC)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.header["shape"])
+
+    @property
+    def payload_mode(self) -> str:
+        return str(self.header["mode"])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.header["shards"])
+
+    @property
+    def attrs(self) -> dict:
+        return dict(self.header["attrs"])
+
+    def shard_bounds(self) -> list[tuple[int, int]]:
+        """Per-shard ``(start, stop)`` row ranges along axis 0."""
+        return [(int(s["start"]), int(s["stop"])) for s in self.header["shards"]]
+
+    def shards_covering(self, row_start: int, row_stop: int) -> list[int]:
+        """Indices of the shards intersecting rows ``[row_start, row_stop)``."""
+        return [
+            i
+            for i, (a, b) in enumerate(self.shard_bounds())
+            if a < row_stop and b > row_start
+        ]
+
+    def read_shard(self, i: int, verify: bool = True) -> bytes:
+        """One shard's self-contained container bytes (a ranged read)."""
+        if not 0 <= i < self.n_shards:
+            raise ContainerError(f"shard {i} out of range [0, {self.n_shards})")
+        meta = self.header["shards"][i]
+        return _ranged_read(
+            self.path,
+            self._payload_start + meta["offset"],
+            meta["nbytes"],
+            meta["crc32"] if verify else None,
+            f"shard {i}",
+        )

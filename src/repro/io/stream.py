@@ -39,6 +39,15 @@ Two stream modes share the directory layout:
     the reader replays the chain from the nearest key frame, which is
     exactly the random-access granularity closed-loop prediction has
     anyway.
+
+Either mode may additionally be **sharded** (pass ``shards=``): every
+step splits along axis 0 into independent shard segments — the paper's
+equal-partition-per-GPU model — encoded in parallel through the
+executor backends and stored in one sharded container per step, so
+:meth:`StepStreamReader.read_region` decodes only the shards covering a
+requested sub-volume.  Sharded compressed steps are spatially
+compressed per step (independent partitions carry no temporal chain),
+keeping every step — and every shard — self-contained.
 """
 
 from __future__ import annotations
@@ -57,7 +66,12 @@ from ..core.classes import CoefficientClasses, reconstruct_from_classes
 from ..core.grid import TensorHierarchy, hierarchy_for
 from ..core.refactor import Refactorer
 from ..core.snorm import truncation_estimate
-from .container import RefactoredFileReader, write_refactored_stream
+from .container import (
+    RefactoredFileReader,
+    ShardedFileReader,
+    write_refactored_stream,
+    write_sharded_stream,
+)
 
 __all__ = [
     "StepStreamWriter",
@@ -65,6 +79,7 @@ __all__ = [
     "StreamError",
     "PreparedStep",
     "PredictedStep",
+    "ShardedStep",
 ]
 
 _MANIFEST = "manifest.json"
@@ -118,6 +133,25 @@ class PredictedStep:
     plan: object = dataclass_field(repr=False)  # compress.timeseries.ResidualPlan
 
 
+@dataclass
+class ShardedStep:
+    """One sharded-stream step awaiting its shard-parallel encode.
+
+    Produced by :meth:`StepStreamWriter.shard_step` (the in-order stage
+    that owns the step-index claim — deliberately cheap, it only holds
+    a reference to the frame) and consumed by
+    :meth:`StepStreamWriter.encode_sharded` (the per-shard
+    refactor/compress fan-out plus container serialization).  Sharded
+    steps carry no cross-step state — every step is self-contained, the
+    paper's independent-partition model — so the encode stage overlaps
+    freely across steps.
+    """
+
+    index: int
+    time: float | None
+    field: np.ndarray = dataclass_field(repr=False)
+
+
 class StepStreamWriter:
     """Producer side: append time steps to a directory.
 
@@ -132,7 +166,20 @@ class StepStreamWriter:
         Compressed-mode settings, passed to
         :class:`~repro.compress.timeseries.TimeSeriesCompressor`.
     executor:
-        Executor spec or instance scheduling the encode fan-out.
+        Executor spec or instance scheduling the encode fan-out (the
+        shard fan-out, for sharded streams).
+    shards:
+        Split every step along axis 0 into this many shard segments
+        (``None``/``1`` keeps steps monolithic).  Sharded steps are
+        encoded shard-by-shard through the executor backends and stored
+        as sharded containers, so
+        :meth:`StepStreamReader.read_region` decodes only the shards a
+        sub-volume needs.  Sharded *compressed* steps follow the
+        paper's independent-partition model: each step is spatially
+        compressed on its own (no temporal prediction, no cross-step
+        code-book chain — every shard container is self-contained), so
+        the per-step L∞ bound still holds and any step decodes without
+        replaying a chain.
     """
 
     def __init__(
@@ -146,14 +193,31 @@ class StepStreamWriter:
         mode: str = "level",
         executor=None,
         reuse_codebooks: bool = True,
+        shards: int | None = None,
     ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.refactorer = Refactorer(tuple(shape))
         self.stream_mode = "refactored" if tol is None else "compressed"
         self._backend = backend
+        self._tol = None if tol is None else float(tol)
+        self._key_interval = int(key_interval)
+        self._executor = executor
+        self._shard_plan = None
+        self._shard_codec = None
+        if shards is not None and shards > 1:
+            from ..cluster.sharded import ShardCodec, plan_shards, shard_tolerance
+
+            self._shard_plan = plan_shards(tuple(shape), int(shards))
+            self._shard_codec = ShardCodec(
+                tol=None
+                if tol is None
+                else shard_tolerance(tol, self._shard_plan.n_blocks),
+                mode=mode,
+                backend=backend,
+            )
         self._compressor: TimeSeriesCompressor | None = None
-        if tol is not None:
+        if tol is not None and self._shard_plan is None:
             self._compressor = TimeSeriesCompressor(
                 hierarchy_for(tuple(shape)),
                 tol,
@@ -177,15 +241,26 @@ class StepStreamWriter:
                     f"stream at {root} is {existing_mode!r}, writer asked for "
                     f"{self.stream_mode!r}"
                 )
-            if self._compressor is not None:
+            existing_shards = manifest.get("shards")
+            want_shards = (
+                None
+                if self._shard_plan is None
+                else [[int(a), int(b)] for a, b in
+                      zip(self._shard_plan.starts, self._shard_plan.stops)]
+            )
+            if existing_shards != want_shards:
+                raise StreamError(
+                    f"stream at {root} was written with shards={existing_shards!r}, "
+                    f"writer asked for {want_shards!r}"
+                )
+            if self.stream_mode == "compressed":
                 # steps already on disk were encoded under these
                 # settings; silently rewriting them in the manifest
                 # would misdescribe every earlier step
-                for key, got in (
-                    ("tol", self._compressor.tol),
-                    ("key_interval", self._compressor.key_interval),
-                    ("backend", backend),
-                ):
+                checks = [("tol", self._tol), ("backend", backend)]
+                if self._compressor is not None:
+                    checks.append(("key_interval", self._compressor.key_interval))
+                for key, got in checks:
                     want = manifest.get(key)
                     if want is not None and want != got:
                         raise StreamError(
@@ -200,10 +275,16 @@ class StepStreamWriter:
 
     def _flush_manifest(self, shape) -> None:
         doc = {"shape": list(shape), "mode": self.stream_mode, "steps": self._steps}
-        if self._compressor is not None:
-            doc["tol"] = self._compressor.tol
-            doc["key_interval"] = self._compressor.key_interval
+        if self._shard_plan is not None:
+            doc["shards"] = [
+                [int(a), int(b)]
+                for a, b in zip(self._shard_plan.starts, self._shard_plan.stops)
+            ]
+        if self.stream_mode == "compressed":
+            doc["tol"] = self._tol
             doc["backend"] = self._backend
+            if self._compressor is not None:
+                doc["key_interval"] = self._compressor.key_interval
         payload = json.dumps(doc, indent=1)
         tmp = self._manifest_path.with_suffix(".tmp")
         tmp.write_text(payload)
@@ -226,11 +307,78 @@ class StepStreamWriter:
         :class:`PreparedStep` carries the serialized container bytes
         plus its manifest entry; hand it to :meth:`commit_step`.  The
         fused form of the two-stage compressed-mode split
-        (:meth:`predict_step` then :meth:`encode_predicted`).
+        (:meth:`predict_step` then :meth:`encode_predicted`), or of the
+        sharded split (:meth:`shard_step` then :meth:`encode_sharded`).
         """
+        if self._shard_plan is not None:
+            return self.encode_sharded(self.shard_step(field, time=time))
         if self._compressor is not None:
             return self.encode_predicted(self.predict_step(field, time=time))
         return self.encode_refactored(self.refactorer.refactor(field), time=time)
+
+    def shard_step(self, field: np.ndarray, time: float | None = None) -> ShardedStep:
+        """Claim the next step index for a sharded stream, unencoded.
+
+        Sharded streams only.  The in-order stage of the pipelined
+        sharded write — deliberately cheap (the index claim plus a
+        shape check; the frame travels by reference), because sharded
+        steps carry no cross-step state and the heavy per-shard encode
+        (:meth:`encode_sharded`) may overlap across steps.
+        """
+        if self._shard_plan is None:
+            raise StreamError(
+                "shard_step needs a sharded stream; this writer is "
+                "unsharded (use encode_step)"
+            )
+        if tuple(field.shape) != self._shard_plan.shape:
+            raise ValueError(
+                f"frame has shape {field.shape}, expected {self._shard_plan.shape}"
+            )
+        return ShardedStep(index=self._claim_index(), time=time, field=field)
+
+    def encode_sharded(self, ss: ShardedStep) -> PreparedStep:
+        """Encode a sharded step's shards and serialize its container.
+
+        The per-shard refactor/compress fan-out runs through the
+        writer's executor (:func:`repro.cluster.sharded.encode_shards`
+        — shared-memory staging for process workers); the shard
+        containers are byte-identical across serial/thread/process.
+        Stateless across steps, so a pipeline overlaps it freely.
+        """
+        if self._shard_plan is None:
+            raise StreamError(
+                "encode_sharded needs a sharded stream; this writer is "
+                "unsharded (use encode_step)"
+            )
+        from ..cluster.sharded import encode_shards
+
+        plan = self._shard_plan
+        payloads = encode_shards(
+            np.ascontiguousarray(ss.field), plan, self._shard_codec, self._executor
+        )
+        bounds = list(zip(plan.starts, plan.stops))
+        buf = io.BytesIO()
+        nbytes = write_sharded_stream(
+            buf,
+            plan.shape,
+            self._shard_codec.payload_mode,
+            bounds,
+            payloads,
+            attrs={"step": ss.index, "time": ss.time},
+        )
+        return PreparedStep(
+            index=ss.index,
+            name=f"step_{ss.index:06d}.rpsh",
+            payload=buf.getvalue(),
+            entry={
+                "time": ss.time,
+                "nbytes": int(nbytes),
+                "shards": [
+                    {"start": int(a), "stop": int(b), "nbytes": len(p)}
+                    for (a, b), p in zip(bounds, payloads)
+                ],
+            },
+        )
 
     def predict_step(self, field: np.ndarray, time: float | None = None) -> PredictedStep:
         """Run one step through the closed prediction loop, unencoded.
@@ -244,8 +392,9 @@ class StepStreamWriter:
         """
         if self._compressor is None:
             raise StreamError(
-                "predict_step needs a 'compressed' stream; this writer is "
-                "'refactored' (use refactorer.refactor + encode_refactored)"
+                "predict_step needs an unsharded 'compressed' stream; use "
+                "shard_step/encode_sharded on sharded streams, or "
+                "refactorer.refactor + encode_refactored on 'refactored' ones"
             )
         plan = self._compressor.predict_residual(field)
         return PredictedStep(index=self._claim_index(), time=time, plan=plan)
@@ -259,8 +408,9 @@ class StepStreamWriter:
         """
         if self._compressor is None:
             raise StreamError(
-                "encode_predicted needs a 'compressed' stream; this writer "
-                "is 'refactored' (use encode_refactored)"
+                "encode_predicted needs an unsharded 'compressed' stream; "
+                "use encode_sharded on sharded streams, or encode_refactored "
+                "on 'refactored' ones"
             )
         blob, is_key = self._compressor.encode_residual(pred.plan)
         buf = io.BytesIO()
@@ -287,10 +437,10 @@ class StepStreamWriter:
         input is the *refactor* stage's output — the seam the pipelined
         workflow showcase splits its refactor→encode→write chain along.
         """
-        if self._compressor is not None:
+        if self._compressor is not None or self._shard_plan is not None:
             raise StreamError(
-                "encode_refactored needs a 'refactored' stream; this writer "
-                "is 'compressed' (use encode_step)"
+                "encode_refactored needs an unsharded 'refactored' stream; "
+                "this writer is sharded or 'compressed' (use encode_step)"
             )
         idx = self._claim_index()
         buf = io.BytesIO()
@@ -368,6 +518,12 @@ class StepStreamReader:
         self.shape = tuple(manifest["shape"])
         self.stream_mode = manifest.get("mode", "refactored")
         self.tol = manifest.get("tol")
+        shards = manifest.get("shards")
+        self.shard_bounds = (
+            None
+            if shards is None
+            else [(int(a), int(b)) for a, b in shards]
+        )
         self.steps = manifest["steps"]
         self.hier = hierarchy_for(self.shape)
         # compressed-mode incremental decode state
@@ -454,10 +610,11 @@ class StepStreamReader:
 
     def classes_needed(self, step: int, tol: float) -> int:
         """Prefix length meeting ``tol`` — decided from the manifest only."""
-        if self.stream_mode != "refactored":
+        if self.stream_mode != "refactored" or self.shard_bounds is not None:
             raise StreamError(
-                "class-prefix hints need a 'refactored' stream; this one is "
-                f"{self.stream_mode!r} (use read_step)"
+                "class-prefix hints need an unsharded 'refactored' stream; "
+                f"this one is {self.stream_mode!r}"
+                f"{' (sharded — use read_region)' if self.shard_bounds else ''}"
             )
         meta = self._meta(step)
         for k, est in enumerate(meta["truncation_estimates"], start=1):
@@ -472,10 +629,11 @@ class StepStreamReader:
         Returns ``(field, bytes_read)``.  Refactored-mode streams only;
         compressed streams decode whole steps via :meth:`read_step`.
         """
-        if self.stream_mode != "refactored":
+        if self.stream_mode != "refactored" or self.shard_bounds is not None:
             raise StreamError(
-                "partial class reads need a 'refactored' stream; this one is "
-                f"{self.stream_mode!r} (use read_step)"
+                "partial class reads need an unsharded 'refactored' stream; "
+                f"this one is {self.stream_mode!r}"
+                f"{' (sharded — use read_region)' if self.shard_bounds else ''}"
             )
         if (k is None) == (tol is None):
             raise ValueError("pass exactly one of k or tol")
@@ -489,10 +647,11 @@ class StepStreamReader:
 
     def read_full(self, step: int) -> CoefficientClasses:
         """All classes of a step, as a :class:`CoefficientClasses`."""
-        if self.stream_mode != "refactored":
+        if self.stream_mode != "refactored" or self.shard_bounds is not None:
             raise StreamError(
-                f"read_full needs a 'refactored' stream; this one is "
-                f"{self.stream_mode!r} (use read_step)"
+                f"read_full needs an unsharded 'refactored' stream; this one "
+                f"is {self.stream_mode!r}"
+                f"{' (sharded — use read_region)' if self.shard_bounds else ''}"
             )
         meta = self._meta(step)
         return RefactoredFileReader(self.root / meta["file"]).to_coefficient_classes(
@@ -500,15 +659,96 @@ class StepStreamReader:
         )
 
     # ------------------------------------------------------------------
+    # sharded-mode region decode
+
+    def read_region(self, step: int, region=None) -> np.ndarray:
+        """Reconstruct a sub-volume of one step, decoding only its shards.
+
+        ``region`` is a tuple of slices into the full step grid (fewer
+        slices than dimensions are padded with ``slice(None)``; steps
+        other than 1 are not supported); ``None`` reads the whole step.
+        On a sharded stream only the shard segments whose axis-0 row
+        ranges intersect ``region`` are read and decoded — the partial-
+        read capability along *space*, complementing the class-prefix
+        partial read along *accuracy*.  Works for both payload modes
+        (refactored shards reconstruct losslessly; compressed shards
+        honour the stream's L∞ bound).  Unsharded streams fall back to
+        a whole-step decode and slice.
+        """
+        meta = self._meta(step)
+        region = self._normalize_region(region)
+        if self.shard_bounds is None:
+            if self.stream_mode == "compressed":
+                return self.read_step(step)[region].copy()
+            field, _ = self.read(step, k=len(meta["class_bytes"]))
+            return field[region].copy()
+        lo, hi, _ = region[0].indices(self.shape[0])
+        reader = ShardedFileReader(self.root / meta["file"])
+        out = np.empty(
+            (hi - lo,) + tuple(
+                len(range(*sl.indices(n)))
+                for sl, n in zip(region[1:], self.shape[1:])
+            ),
+            dtype=np.float64,
+        )
+        rest = tuple(region[1:])
+        for i in reader.shards_covering(lo, hi):
+            a, b = reader.shard_bounds()[i]
+            block = self._decode_shard(reader, i)
+            cut_lo, cut_hi = max(lo, a), min(hi, b)
+            out[cut_lo - lo : cut_hi - lo] = block[
+                (slice(cut_lo - a, cut_hi - a),) + rest
+            ]
+        return out
+
+    def _decode_shard(self, reader: ShardedFileReader, i: int) -> np.ndarray:
+        """Decode one shard segment to its field block (the region-read
+        work unit — tests spy on it to assert read selectivity)."""
+        from ..cluster.sharded import decode_shard
+
+        return decode_shard(reader.read_shard(i), reader.payload_mode)
+
+    def _normalize_region(self, region) -> tuple[slice, ...]:
+        if region is None:
+            region = ()
+        if not isinstance(region, tuple):
+            region = (region,)
+        if len(region) > len(self.shape):
+            raise ValueError(
+                f"region has {len(region)} slices for a {len(self.shape)}-d grid"
+            )
+        region = tuple(region) + tuple(
+            slice(None) for _ in range(len(self.shape) - len(region))
+        )
+        out = []
+        for sl, n in zip(region, self.shape):
+            if not isinstance(sl, slice):
+                raise ValueError("region entries must be slices")
+            lo, hi, stride = sl.indices(n)
+            if stride != 1:
+                raise ValueError("region slices must have step 1")
+            if hi <= lo:
+                raise ValueError(f"empty region slice {sl} on an axis of {n}")
+            out.append(slice(lo, hi))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
     # compressed-mode decode
 
     def read_step(self, step: int) -> np.ndarray:
-        """Reconstruct one step of a compressed stream (within ``tol``).
+        """Reconstruct one full step of a compressed or sharded stream.
 
-        Sequential reads cost one blob decode each; random access rolls
-        forward from the nearest key frame at or before ``step``,
-        replaying the code-book chain along the way.
+        Compressed streams honour ``tol``; sequential reads cost one
+        blob decode each and random access rolls forward from the
+        nearest key frame at or before ``step``, replaying the
+        code-book chain along the way.  Sharded streams (either payload
+        mode) decode all shards of ``step`` directly — independent
+        partitions need no chain replay.
         """
+        if self.shard_bounds is not None:
+            # sharded steps are independent (no temporal chain) in both
+            # payload modes: a full read is the all-shards region read
+            return self.read_region(step)
         if self.stream_mode != "compressed":
             raise StreamError(
                 f"read_step needs a 'compressed' stream; this one is "

@@ -195,7 +195,9 @@ class MeasuredPipeline:
     compared against the wall time of the actually-overlapped run.
     ``mode`` records which stream mode ran (``refactored`` or
     ``compressed``) and ``backend`` the compressed mode's entropy
-    backend (``None`` for refactored streams, which do not encode).
+    backend (``None`` for refactored streams, which do not encode);
+    ``shards`` is the per-step shard count of a sharded run (``None``
+    for monolithic steps).
     """
 
     n_steps: int
@@ -208,6 +210,7 @@ class MeasuredPipeline:
     executor: str
     mode: str
     backend: str | None
+    shards: int | None
     model: "PipelineModel" = field(repr=False)  # noqa: F821 - lazy import
 
     @property
@@ -245,6 +248,7 @@ class MeasuredPipeline:
         return {
             "mode": self.mode,
             "backend": self.backend,
+            "shards": self.shards,
             "executor": self.executor,
             "cpu_count": available_workers(),
             "n_steps": self.n_steps,
@@ -301,14 +305,39 @@ def _compressed_stages(writer: StepStreamWriter):
     return [predict, encode, write]
 
 
-#: The two stream modes as configurations of one pipeline spine:
-#: (stage names, stage builder).  Both chains are three one-argument
+def _sharded_stages(writer: StepStreamWriter):
+    """shard → encode → write over a sharded stream (either payload mode).
+
+    The shard stage owns only the in-order step-index claim (cheap by
+    design); encode runs the per-shard refactor/compress fan-out
+    through the writer's executor and is stateless across steps —
+    sharded steps are independent partitions — so it overlaps freely.
+    """
+
+    def shard(frame):
+        return writer.shard_step(frame)
+
+    def encode(ss):
+        return writer.encode_sharded(ss)
+
+    def write(prep):
+        writer.commit_step(prep)
+        return prep.nbytes
+
+    return [shard, encode, write]
+
+
+#: The stream modes as configurations of one pipeline spine:
+#: (stage names, stage builder).  All chains are three one-argument
 #: callables over a live writer — the spine below neither knows nor
-#: cares which mode it is running.
+#: cares which mode it is running.  ``shards > 1`` swaps in the sharded
+#: chain for either payload mode.
 _PIPELINE_MODES = {
     "refactored": (("refactor", "encode", "write"), _refactored_stages),
     "compressed": (("predict", "encode", "write"), _compressed_stages),
 }
+
+_SHARDED_STAGES = (("shard", "encode", "write"), _sharded_stages)
 
 
 def run_streaming_pipeline(
@@ -321,6 +350,7 @@ def run_streaming_pipeline(
     backend: str = "huffman",
     key_interval: int = 16,
     codec_executor=None,
+    shards: int | None = None,
 ) -> MeasuredPipeline:
     """Execute the Fig. 10 streaming write as a real overlapped pipeline.
 
@@ -352,6 +382,13 @@ def run_streaming_pipeline(
         fan-out (per-class segments, Huffman blocks) independently of
         the pipeline's stage concurrency.
 
+    ``shards > 1`` swaps in the sharded chain for either mode: shard
+    (the in-order step-index claim) → encode (the per-shard
+    refactor/compress fan-out, scheduled through ``codec_executor``) →
+    write.  Sharded compressed steps are spatially compressed per step
+    (independent partitions, no temporal chain), so ``key_interval`` is
+    not used.
+
     With an explicit ``workdir``, ``keep_stream=True`` leaves the
     pipelined run's stream directory (``workdir/pipelined``, readable
     with :class:`~repro.io.stream.StepStreamReader`) in place; the
@@ -369,18 +406,22 @@ def run_streaming_pipeline(
     if not frames:
         raise ValueError("need at least one frame")
     shape = frames[0].shape
-    stage_names, make_stages = _PIPELINE_MODES[mode]
+    sharded = shards is not None and int(shards) > 1
+    stage_names, make_stages = (
+        _SHARDED_STAGES if sharded else _PIPELINE_MODES[mode]
+    )
     writer_kwargs: dict = {}
     if mode == "compressed":
         if tol is None:
             span = float(np.max(frames[0]) - np.min(frames[0])) or 1.0
             tol = 1e-3 * span
-        writer_kwargs = dict(
-            tol=float(tol),
-            backend=backend,
-            key_interval=int(key_interval),
-            executor=codec_executor,
-        )
+        writer_kwargs.update(tol=float(tol), backend=backend)
+        if not sharded:
+            writer_kwargs["key_interval"] = int(key_interval)
+    if sharded:
+        writer_kwargs["shards"] = int(shards)
+    if sharded or mode == "compressed":
+        writer_kwargs["executor"] = codec_executor
         # fork the codec's process pool (if any) while this process is
         # still single-threaded — under the pipeline's thread pool a
         # lazy first fork would degrade to forkserver/spawn inside the
@@ -453,5 +494,6 @@ def run_streaming_pipeline(
         executor=str(executor),
         mode=mode,
         backend=backend if mode == "compressed" else None,
+        shards=int(shards) if sharded else None,
         model=model,
     )
