@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Chaos benchmark: recovery success rate and the latency it costs.
+
+PR 6 added a deterministic fault-injection seam (:mod:`repro.faults`)
+and crash-consistent recovery across the streaming stack.  This
+benchmark drives :func:`repro.experiments.chaos.chaos_experiment` — the
+writer-crash matrix (every commit-path crash site x every stream mode),
+corrupt-read degradation, process-pool worker kills, and the fsync
+durability tax — and writes ``benchmarks/results/BENCH_chaos.json`` so
+the recovery numbers stay machine-readable alongside the perf
+trajectory:
+
+* ``crash_matrix.recovery_rate`` must be 1.0 — a cell that fails means
+  a crash site leaks corrupt visible state;
+* ``corrupt_read`` records exact/degraded/lost read fractions and the
+  added latency of quarantine-and-roll-back over a clean sweep;
+* ``worker_kill`` records the pool-rebuild retry's added latency (the
+  payloads must match the undisturbed encode bit for bit);
+* ``durability`` records the per-step fsync overhead.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py
+
+``REPRO_BENCH_SCALE=ci`` shrinks the grid for smoke runs.  Exits 1 if
+any crash cell fails to recover or a worker-kill encode comes back with
+different bytes — the chaos run doubles as a correctness gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.experiments.chaos import chaos_experiment, format_chaos
+from repro.parallel import available_workers
+
+RESULTS = Path(__file__).parent / "results"
+
+CI_SCALE = os.environ.get("REPRO_BENCH_SCALE") == "ci"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(RESULTS / "BENCH_chaos.json"))
+    args = parser.parse_args(argv)
+
+    rec = chaos_experiment()
+    report = {
+        "benchmark": "chaos",
+        "scale": "ci" if CI_SCALE else "full",
+        "cpu_count": available_workers(),
+        **rec,
+    }
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(format_chaos(rec))
+    print(f"[written to {out}]")
+
+    failed = [
+        f"{c['mode']}/{c['site']}"
+        for c in rec["crash_matrix"]["cells"]
+        if not c["recovered"]
+    ]
+    if failed:
+        print(f"unrecovered crash cells: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    if not rec["worker_kill"]["payloads_match"]:
+        print("worker-kill encode returned different bytes", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,8 +8,8 @@ import pathlib
 
 MODULES = [
     "repro", "repro.core", "repro.kernels", "repro.gpu", "repro.cluster",
-    "repro.compress", "repro.parallel", "repro.io", "repro.workloads",
-    "repro.analysis", "repro.experiments",
+    "repro.compress", "repro.parallel", "repro.io", "repro.io.scrub",
+    "repro.faults", "repro.workloads", "repro.analysis", "repro.experiments",
 ]
 
 # hand-written context emitted after a module's docstring line

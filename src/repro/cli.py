@@ -272,6 +272,11 @@ def _lifecycle() -> str:
     return "\n".join(lines)
 
 
+def _chaos() -> str:
+    """Fault-injection chaos matrix: crash recovery, corrupt reads, kills."""
+    return E.format_chaos(E.chaos_experiment())
+
+
 def _validate() -> str:
     return E.format_validation(E.validation_report())
 
@@ -307,6 +312,11 @@ EXPERIMENTS = {
     "offload": (_offload, "CPU-app offload break-even analysis (paper §I)"),
     "entropy": (_entropy, "entropy-stage fast path vs scalar reference"),
     "parallel": (_parallel, "parallel class encoding + cross-step code-book reuse"),
+    "chaos": (
+        _chaos,
+        "fault-injection chaos matrix: writer-crash recovery rate, "
+        "corrupt-read degradation, worker-kill retry latency",
+    ),
     "validate": (_validate, "machine-checkable residuals vs the paper's numbers"),
     "lifecycle": (_lifecycle, "post-purge retrieval: refactoring-aware archive policy"),
     "ablations": (_ablations, "design-choice ablations"),

@@ -50,6 +50,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import faults
+from ..errors import ContainerError
 from ..parallel import get_executor
 from ..parallel.shm import ArrayRef, ShmUnavailable, share_array
 from .partition import BlockPlan
@@ -128,12 +130,19 @@ class ShardCodec:
 
 
 def _encode_shard_array(shard: np.ndarray, codec: ShardCodec) -> bytes:
-    """Encode one contiguous shard into self-contained container bytes."""
+    """Encode one contiguous shard into self-contained container bytes.
+
+    ``sharded.encode.shard`` is a fault-injection site: armed ``error``
+    faults fail individual shard encodes (a sick worker), ``delay``
+    faults model stragglers in the fan-out.
+    """
     from ..compress.fileio import save_compressed
     from ..compress.mgard import MgardCompressor
     from ..core.refactor import Refactorer
     from ..io.container import write_refactored_stream
 
+    faults.delay_point("sharded.encode.shard")
+    faults.error_point("sharded.encode.shard")
     buf = io.BytesIO()
     if codec.tol is None:
         cc = Refactorer(shard.shape).refactor(np.asarray(shard, dtype=np.float64))
@@ -207,25 +216,37 @@ def encode_shards(
 
 
 def decode_shard(payload: bytes, payload_mode: str) -> np.ndarray:
-    """Decode one shard container back to its (full-rank) field block."""
+    """Decode one shard container back to its (full-rank) field block.
+
+    Every way a corrupt shard can fail to decode surfaces as
+    :class:`~repro.errors.ContainerError` (the parse layers raise it
+    directly; schema-level junk that slips past them — valid JSON with
+    wrong fields — is mapped here), so a region read can treat "this
+    shard is poison" as one condition.
+    """
     from ..compress.fileio import load_compressed
     from ..compress.mgard import MgardCompressor
     from ..core.classes import reconstruct_from_classes
     from ..core.grid import hierarchy_for
     from ..io.container import read_refactored_stream
 
-    if payload_mode == "refactored":
-        header, classes = read_refactored_stream(payload)
-        return reconstruct_from_classes(
-            classes, hierarchy_for(tuple(header["shape"]))
-        )
-    if payload_mode == "compressed":
+    if payload_mode not in ("refactored", "compressed"):
+        raise ValueError(f"unknown shard payload mode {payload_mode!r}")
+    try:
+        if payload_mode == "refactored":
+            header, classes = read_refactored_stream(payload)
+            return reconstruct_from_classes(
+                classes, hierarchy_for(tuple(header["shape"]))
+            )
         blob, hier = load_compressed(payload)
         comp = MgardCompressor.for_shape(
             hier.shape, float(blob.tol), mode=blob.mode, executor="serial"
         )
         return comp.decompress(blob)
-    raise ValueError(f"unknown shard payload mode {payload_mode!r}")
+    except ContainerError:
+        raise
+    except (KeyError, TypeError, ValueError) as e:
+        raise ContainerError(f"shard payload undecodable ({payload_mode}): {e}") from e
 
 
 @dataclass

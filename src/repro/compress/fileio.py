@@ -16,7 +16,9 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import faults
 from ..core.grid import TensorHierarchy, hierarchy_for
+from ..errors import ContainerError
 from .mgard import CompressedData
 
 __all__ = ["save_compressed", "load_compressed", "CompressedFileError"]
@@ -24,8 +26,14 @@ __all__ = ["save_compressed", "load_compressed", "CompressedFileError"]
 _MAGIC = b"RPMG\x01\x00"
 
 
-class CompressedFileError(RuntimeError):
-    """Malformed compressed file."""
+class CompressedFileError(ContainerError):
+    """Malformed compressed file.
+
+    A :class:`~repro.errors.ContainerError`, so stream-level recovery
+    (step quarantine, partial-shard region reads, the scrub CLI)
+    handles corrupt ``.mgz`` steps and corrupt refactored containers
+    through one ``except`` clause.
+    """
 
 
 def save_compressed(
@@ -102,34 +110,69 @@ def load_compressed(source) -> tuple[CompressedData, TensorHierarchy]:
         magic = f.read(len(_MAGIC))
         if magic != _MAGIC:
             raise CompressedFileError(f"bad magic in {name}")
-        (hlen,) = struct.unpack("<Q", f.read(8))
+        raw = f.read(8)
+        if len(raw) != 8:
+            raise CompressedFileError(
+                f"truncated header length in {name} "
+                f"(offset {len(_MAGIC)}: got {len(raw)} of 8 bytes)"
+            )
+        (hlen,) = struct.unpack("<Q", raw)
+        raw = f.read(hlen)
+        if len(raw) != hlen:
+            raise CompressedFileError(
+                f"truncated header in {name} "
+                f"(offset {len(_MAGIC) + 8}: got {len(raw)} of {hlen} bytes)"
+            )
         try:
-            header = json.loads(f.read(hlen).decode())
+            header = json.loads(raw.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as e:
             raise CompressedFileError(f"corrupt header in {name}") from e
+        if not isinstance(header, dict) or not isinstance(header.get("extents"), list):
+            raise CompressedFileError(f"header in {name} missing its payload extents")
         payloads = []
-        for ext in header["extents"]:
-            raw = f.read(ext["nbytes"])
-            if len(raw) != ext["nbytes"]:
-                raise CompressedFileError(f"truncated payload in {name}")
-            if zlib.crc32(raw) != ext["crc32"]:
-                raise CompressedFileError(f"checksum mismatch in {name}")
+        offset = len(_MAGIC) + 8 + hlen
+        for i, ext in enumerate(header["extents"]):
+            try:
+                nbytes, crc = int(ext["nbytes"]), ext["crc32"]
+            except (KeyError, TypeError) as e:
+                raise CompressedFileError(
+                    f"malformed extent {i} in header of {name}"
+                ) from e
+            raw = f.read(nbytes)
+            site = "fileio.read.payload"
+            faults.delay_point(site)
+            raw = faults.corrupt_bytes(site, raw)
+            if len(raw) != nbytes:
+                raise CompressedFileError(
+                    f"truncated payload {i} in {name} "
+                    f"(offset {offset}: got {len(raw)} of {nbytes} bytes)"
+                )
+            if zlib.crc32(raw) != crc:
+                raise CompressedFileError(
+                    f"checksum mismatch for payload {i} in {name} "
+                    f"(offset {offset}, {nbytes} bytes)"
+                )
             payloads.append(raw)
+            offset += nbytes
     finally:
         if close:
             f.close()
-    shape = tuple(header["shape"])
-    coords = header.get("coords")
-    hier = hierarchy_for(
-        shape,
-        None if coords is None else tuple(np.asarray(c) for c in coords),
-    )
-    blob = CompressedData(
-        payloads=payloads,
-        headers=header["headers"],
-        steps=list(header["steps"]),
-        shape=shape,
-        tol=float(header["tol"]),
-        mode=str(header["mode"]),
-    )
+    try:
+        shape = tuple(header["shape"])
+        coords = header.get("coords")
+        hier = hierarchy_for(
+            shape,
+            None if coords is None else tuple(np.asarray(c) for c in coords),
+        )
+        blob = CompressedData(
+            payloads=payloads,
+            headers=header["headers"],
+            steps=list(header["steps"]),
+            shape=shape,
+            tol=float(header["tol"]),
+            mode=str(header["mode"]),
+        )
+    except (KeyError, TypeError, ValueError) as e:
+        # valid JSON, wrong schema: an overwritten or bit-flipped header
+        raise CompressedFileError(f"malformed header in {name}: {e}") from e
     return blob, hier

@@ -1,0 +1,30 @@
+"""Shared exception hierarchy for the storage/streaming stack.
+
+The container layers raise structurally identical errors — malformed
+magic, truncated extents, checksum mismatches — from modules on *both*
+sides of the ``repro.io`` ↔ ``repro.compress`` import boundary:
+``repro.io.stream`` imports ``repro.compress.fileio`` to decode
+compressed steps, while ``repro.compress.fileio`` must raise an error a
+stream reader can catch uniformly with the refactored container's.
+Defining the root type in a dependency-free module breaks that cycle:
+:class:`ContainerError` lives here, ``repro.io.container`` re-exports
+it, and ``repro.compress.fileio.CompressedFileError`` subclasses it —
+so ``except ContainerError`` catches every flavour of corrupt payload,
+which is exactly what the recovery paths (step quarantine, partial-
+shard region reads, the scrub CLI) key on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ContainerError"]
+
+
+class ContainerError(RuntimeError):
+    """Malformed or inconsistent container file or payload.
+
+    The common root of every "these bytes do not decode" condition:
+    truncated extents and headers, checksum mismatches, bad magic,
+    short reads, and parse errors mapped from :mod:`struct`/:mod:`json`
+    internals.  Messages carry path + offset context so a corrupt file
+    is locatable without a debugger.
+    """

@@ -7,6 +7,7 @@ draw from these functions, so the numbers in all three always agree.
 """
 
 from .ablations import ablation_sweep, format_ablations
+from .chaos import chaos_experiment, format_chaos
 from .breakdown import format_table4, table4_breakdown
 from .common import SCALES, Scale, bench_scale, format_seconds, format_table
 from .endtoend import (
@@ -41,6 +42,7 @@ __all__ = [
     "Scale",
     "ablation_sweep",
     "bench_scale",
+    "chaos_experiment",
     "fig10_accuracy_demo",
     "fig10_measured_pipeline",
     "fig10_workflow",
@@ -49,6 +51,7 @@ __all__ = [
     "fig8_streams",
     "fig9_weak_scaling",
     "format_ablations",
+    "format_chaos",
     "format_fig10",
     "format_fig10_pipeline",
     "format_fig11",

@@ -1,0 +1,278 @@
+"""Chaos experiment: measured fault recovery across the streaming stack.
+
+Everything PR 6 hardens is exercised here *as an experiment*, with the
+same structure the paper-figure generators use (structured record +
+``format_chaos`` text block), so recovery behaviour is a measured,
+regression-trackable quantity rather than a claim:
+
+1. **Writer-crash matrix** — a producer is killed (via
+   :mod:`repro.faults` crash points) at every commit-path crash site,
+   for every stream mode.  After each death the stream is reopened,
+   scrubbed (:func:`repro.io.scrub.scrub_stream`), fully re-read, and
+   appended to — the recovery *rate* is the fraction of (site × mode)
+   cells that come back with zero corrupt visible steps.
+2. **Corrupt-read recovery** — step files of a compressed stream are
+   bit-flipped on disk; every step is then read back with the default
+   ``on_error="recover"`` policy, classifying each read as *exact*,
+   *degraded* (an earlier chain state was served), or *lost*.  The
+   added latency of recovery is measured against a clean read sweep.
+3. **Worker-kill fan-out** — a shard encode over the process backend
+   with injected worker deaths, measuring the pool-rebuild retry's
+   added latency over the undisturbed encode (payloads must match).
+4. **Durability cost** — per-step append latency of
+   ``durability="fsync"`` over the default ``"rename"``.
+
+Shapes are deliberately small: the point is failure *handling*, not
+throughput, and the full matrix must stay cheap enough for CI.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .. import faults
+from ..io.scrub import scrub_stream
+from ..io.stream import StepStreamReader, StepStreamWriter, StreamError
+
+__all__ = ["chaos_experiment", "format_chaos"]
+
+#: every producer-side crash site in the commit path
+CRASH_SITES = (
+    "stream.step.pre_tmp",
+    "stream.step.post_tmp",
+    "stream.commit.post_rename",
+    "stream.manifest.pre_flush",
+    "stream.manifest.post_tmp",
+)
+
+#: stream mode → StepStreamWriter kwargs
+MODES = {
+    "refactored": {},
+    "compressed": {"tol": 1e-3, "key_interval": 4},
+    "sharded": {"tol": 1e-3, "shards": 2},
+}
+
+
+def _frames(shape, n, seed=0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(size=shape)
+    drift = rng.normal(size=shape) * 0.05
+    return [base + t * drift for t in range(n)]
+
+
+def _crash_cell(shape, mode: str, site: str, steps_before: int = 2) -> dict:
+    """One (mode × site) cell of the writer-crash matrix."""
+    kwargs = MODES[mode]
+    frames = _frames(shape, steps_before + 2)
+    with tempfile.TemporaryDirectory() as d:
+        root = Path(d) / "stream"
+        writer = StepStreamWriter(root, shape, **kwargs)
+        for f in frames[:steps_before]:
+            writer.append(f)
+        crashed = False
+        try:
+            with faults.inject(f"crash@{site}:count=1"):
+                writer.append(frames[steps_before])
+        except faults.InjectedCrash:
+            crashed = True
+        # the dead producer's stream: reopen, scrub, re-read, append
+        report = scrub_stream(root)
+        writer = StepStreamWriter(root, shape, **kwargs)
+        visible = writer.n_steps
+        reader = StepStreamReader(root)
+        readable = 0
+        for s in range(len(reader.steps)):
+            try:
+                reader.read_region(s)
+                readable += 1
+            except Exception:
+                pass
+        writer.append(frames[steps_before + 1])
+        reader.refresh()
+        reader.read_region(len(reader.steps) - 1)
+        return {
+            "mode": mode,
+            "site": site,
+            "crashed": crashed,
+            "visible_steps": visible,
+            "readable_steps": readable,
+            "scrub_clean": report.clean,
+            "stale_tmps": len(report.stale_tmps),
+            "orphans": len(report.orphans),
+            "recovered": report.clean and readable == visible,
+        }
+
+
+def _corrupt_read_recovery(shape, n_steps: int = 10, corrupt=(3, 7)) -> dict:
+    """Bit-flip committed steps, read everything back under recovery."""
+    frames = _frames(shape, n_steps)
+    with tempfile.TemporaryDirectory() as d:
+        root = Path(d) / "stream"
+        writer = StepStreamWriter(root, shape, tol=1e-3, key_interval=4)
+        for f in frames:
+            writer.append(f)
+
+        def _sweep() -> float:
+            t0 = time.perf_counter()
+            for s in range(n_steps):
+                r = StepStreamReader(root)
+                try:
+                    r.read_step(s)
+                except StreamError:
+                    pass
+            return time.perf_counter() - t0
+
+        clean_s = _sweep()
+        rng = np.random.default_rng(1)
+        for s in corrupt:
+            path = root / f"step_{s:06d}.mgz"
+            blob = bytearray(path.read_bytes())
+            blob[int(rng.integers(len(blob)))] ^= 0xFF
+            path.write_bytes(bytes(blob))
+        exact = degraded = lost = 0
+        t0 = time.perf_counter()
+        for s in range(n_steps):
+            r = StepStreamReader(root)
+            try:
+                r.read_step(s)
+            except StreamError:
+                lost += 1
+                continue
+            if r.last_recovery is None or not r.last_recovery.degraded:
+                exact += 1
+            else:
+                degraded += 1
+        chaos_s = time.perf_counter() - t0
+        return {
+            "n_steps": n_steps,
+            "corrupted": list(corrupt),
+            "exact": exact,
+            "degraded": degraded,
+            "lost": lost,
+            "clean_sweep_s": clean_s,
+            "chaos_sweep_s": chaos_s,
+            "added_latency_s": chaos_s - clean_s,
+        }
+
+
+def _worker_kill(shape, n_shards: int = 4) -> dict:
+    """Shard encode through a process pool with injected worker deaths."""
+    from ..cluster.sharded import ShardCodec, encode_shards, plan_shards
+    from ..parallel.executors import ProcessExecutor
+
+    data = _frames(shape, 1)[0]
+    plan = plan_shards(shape, n_shards)
+    codec = ShardCodec(tol=1e-3)
+
+    ex = ProcessExecutor(max_workers=2)
+    t0 = time.perf_counter()
+    reference = encode_shards(data, plan, codec, ex)
+    clean_s = time.perf_counter() - t0
+    ex.shutdown()
+
+    ex = ProcessExecutor(max_workers=2)
+    with faults.inject("kill@executor.process.map:count=1"):
+        t0 = time.perf_counter()
+        payloads = encode_shards(data, plan, codec, ex)
+        kill_s = time.perf_counter() - t0
+    stats = dict(ex.stats)
+    ex.shutdown()
+    return {
+        "n_shards": n_shards,
+        "payloads_match": payloads == reference,
+        "clean_encode_s": clean_s,
+        "kill_encode_s": kill_s,
+        "added_latency_s": kill_s - clean_s,
+        "executor_stats": stats,
+    }
+
+
+def _durability_cost(shape, n_steps: int = 4) -> dict:
+    """Per-step append latency: fsync durability over plain rename."""
+    frames = _frames(shape, n_steps)
+    out = {}
+    for level in ("rename", "fsync"):
+        with tempfile.TemporaryDirectory() as d:
+            writer = StepStreamWriter(
+                Path(d) / "stream", shape, durability=level
+            )
+            t0 = time.perf_counter()
+            for f in frames:
+                writer.append(f)
+            out[level] = (time.perf_counter() - t0) / n_steps
+    return {
+        "steps": n_steps,
+        "rename_step_s": out["rename"],
+        "fsync_step_s": out["fsync"],
+        "overhead_x": out["fsync"] / max(out["rename"], 1e-12),
+    }
+
+
+def chaos_experiment(shape: tuple[int, ...] | None = None) -> dict:
+    """Run the full chaos matrix; returns the structured record."""
+    if shape is None:
+        shape = (9, 8) if os.environ.get("REPRO_BENCH_SCALE") == "ci" else (17, 16)
+    cells = [
+        _crash_cell(shape, mode, site)
+        for mode in MODES
+        for site in CRASH_SITES
+    ]
+    recovered = sum(c["recovered"] for c in cells)
+    return {
+        "shape": list(shape),
+        "crash_matrix": {
+            "cells": cells,
+            "recovered": recovered,
+            "total": len(cells),
+            "recovery_rate": recovered / len(cells),
+        },
+        "corrupt_read": _corrupt_read_recovery(shape),
+        "worker_kill": _worker_kill(shape),
+        "durability": _durability_cost(shape),
+    }
+
+
+def format_chaos(rec: dict) -> str:
+    """Text block for one :func:`chaos_experiment` record."""
+    cm = rec["crash_matrix"]
+    lines = [
+        f"writer-crash matrix on {tuple(rec['shape'])} "
+        f"({len(MODES)} modes x {len(CRASH_SITES)} crash sites):",
+    ]
+    for cell in cm["cells"]:
+        flag = "ok " if cell["recovered"] else "FAIL"
+        lines.append(
+            f"  [{flag}] {cell['mode']:10s} {cell['site']:28s} "
+            f"visible {cell['visible_steps']} readable {cell['readable_steps']}"
+            + ("" if cell["scrub_clean"] else "  scrub: NOT CLEAN")
+        )
+    lines.append(
+        f"  recovery rate: {cm['recovered']}/{cm['total']} "
+        f"({cm['recovery_rate']:.0%})"
+    )
+    cr = rec["corrupt_read"]
+    lines.append(
+        f"corrupt-read recovery ({len(cr['corrupted'])} of {cr['n_steps']} "
+        f"steps bit-flipped): {cr['exact']} exact, {cr['degraded']} degraded, "
+        f"{cr['lost']} lost; added latency "
+        f"{cr['added_latency_s'] * 1e3:+.1f} ms over a clean sweep"
+    )
+    wk = rec["worker_kill"]
+    lines.append(
+        f"worker-kill shard encode ({wk['n_shards']} shards): payloads match "
+        f"{wk['payloads_match']}, pool rebuilds "
+        f"{wk['executor_stats'].get('rebuilds', 0)}, added latency "
+        f"{wk['added_latency_s'] * 1e3:+.1f} ms"
+    )
+    du = rec["durability"]
+    lines.append(
+        f"durability: rename {du['rename_step_s'] * 1e3:.1f} ms/step, "
+        f"fsync {du['fsync_step_s'] * 1e3:.1f} ms/step "
+        f"({du['overhead_x']:.2f}x)"
+    )
+    return "\n".join(lines)

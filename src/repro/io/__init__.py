@@ -13,6 +13,7 @@ from .lifecycle import AnalysisRequest, LifecycleOutcome, simulate_lifecycle, ty
 from .stream import (
     PredictedStep,
     PreparedStep,
+    RecoveryReport,
     ShardedStep,
     StepStreamReader,
     StepStreamWriter,
@@ -39,6 +40,7 @@ __all__ = [
     "NVME_TIER",
     "PredictedStep",
     "PreparedStep",
+    "RecoveryReport",
     "RefactoredFileReader",
     "RefactoredFileWriter",
     "ShardedFileReader",

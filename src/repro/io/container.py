@@ -23,8 +23,10 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import faults
 from ..core.classes import CoefficientClasses, class_sizes
 from ..core.grid import TensorHierarchy, hierarchy_for
+from ..errors import ContainerError
 
 __all__ = [
     "RefactoredFileWriter",
@@ -40,33 +42,66 @@ __all__ = [
 _MAGIC = b"RPRC\x01\x00"
 _SHARD_MAGIC = b"RPSH\x01\x00"
 
-
-class ContainerError(RuntimeError):
-    """Malformed or inconsistent container file."""
+# ContainerError itself lives in repro.errors (re-exported here) so
+# repro.compress.fileio can subclass it without an import cycle.
 
 
 def _read_header(path: Path, magic: bytes) -> tuple[dict, int]:
-    """Parse a container file's (JSON header, payload offset)."""
+    """Parse a container file's (JSON header, payload offset).
+
+    Every way a truncated or overwritten file can fail here — short
+    magic, short length word, short or unparseable JSON — maps to
+    :class:`ContainerError` with path + offset context; raw
+    ``struct``/``json`` internals never escape.
+    """
     with open(path, "rb") as f:
         if f.read(len(magic)) != magic:
             raise ContainerError(f"bad magic in {path}")
-        (hlen,) = struct.unpack("<Q", f.read(8))
+        raw = f.read(8)
+        if len(raw) != 8:
+            raise ContainerError(
+                f"truncated header length in {path} "
+                f"(offset {len(magic)}: got {len(raw)} of 8 bytes)"
+            )
+        (hlen,) = struct.unpack("<Q", raw)
+        raw = f.read(hlen)
+        if len(raw) != hlen:
+            raise ContainerError(
+                f"truncated header in {path} "
+                f"(offset {len(magic) + 8}: got {len(raw)} of {hlen} bytes)"
+            )
         try:
-            header = json.loads(f.read(hlen).decode())
+            header = json.loads(raw.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as e:
             raise ContainerError(f"corrupt header in {path}") from e
+        if not isinstance(header, dict):
+            raise ContainerError(f"corrupt header in {path}: not a JSON object")
     return header, len(magic) + 8 + hlen
 
 
 def _ranged_read(path: Path, offset: int, nbytes: int, crc32: int | None, what: str) -> bytes:
-    """One extent of a container file, length- and checksum-verified."""
+    """One extent of a container file, length- and checksum-verified.
+
+    ``container.read.<what>`` is a fault-injection site: armed
+    ``truncate``/``bitflip`` faults corrupt the bytes *after* the read
+    (corruption on the wire / in the page cache), which the length and
+    CRC checks then catch; ``delay`` faults model a slow device.
+    """
     with open(path, "rb") as f:
         f.seek(offset)
         raw = f.read(nbytes)
+    site = f"container.read.{what}"
+    faults.delay_point(site)
+    raw = faults.corrupt_bytes(site, raw)
     if len(raw) != nbytes:
-        raise ContainerError(f"truncated {what} in {path}")
+        raise ContainerError(
+            f"truncated {what} in {path} "
+            f"(offset {offset}: got {len(raw)} of {nbytes} bytes)"
+        )
     if crc32 is not None and zlib.crc32(raw) != crc32:
-        raise ContainerError(f"checksum mismatch for {what} in {path}")
+        raise ContainerError(
+            f"checksum mismatch for {what} in {path} (offset {offset}, {nbytes} bytes)"
+        )
     return raw
 
 
@@ -134,6 +169,8 @@ class RefactoredFileReader:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.header, self._payload_start = _read_header(self.path, _MAGIC)
+        if not isinstance(self.header.get("classes"), list):
+            raise ContainerError(f"header in {self.path} missing its class table")
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -202,23 +239,46 @@ def read_refactored_stream(data, verify: bool = True) -> tuple[dict, list[np.nda
     a region read; prefix reads stay a whole-file concern).
     """
     view = memoryview(data)
+    start = len(_MAGIC) + 8
+    if len(view) < start:
+        raise ContainerError(
+            f"truncated refactored payload ({len(view)} bytes, "
+            f"header length needs {start})"
+        )
     if bytes(view[: len(_MAGIC)]) != _MAGIC:
         raise ContainerError("bad magic in refactored payload")
     (hlen,) = struct.unpack_from("<Q", view, len(_MAGIC))
-    start = len(_MAGIC) + 8
+    if len(view) < start + hlen:
+        raise ContainerError(
+            f"truncated header in refactored payload "
+            f"(offset {start}: got {len(view) - start} of {hlen} bytes)"
+        )
     try:
         header = json.loads(bytes(view[start : start + hlen]).decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as e:
         raise ContainerError("corrupt header in refactored payload") from e
+    if not isinstance(header, dict) or not isinstance(header.get("classes"), list):
+        raise ContainerError("refactored payload header missing class table")
     payload_start = start + hlen
     classes = []
     for l, meta in enumerate(header["classes"]):
-        lo = payload_start + meta["offset"]
-        raw = view[lo : lo + meta["nbytes"]]
-        if raw.nbytes != meta["nbytes"]:
-            raise ContainerError(f"truncated class {l} in refactored payload")
-        if verify and zlib.crc32(raw) != meta["crc32"]:
-            raise ContainerError(f"checksum mismatch for class {l}")
+        try:
+            m_offset, m_nbytes, m_crc = meta["offset"], meta["nbytes"], meta["crc32"]
+        except (KeyError, TypeError) as e:
+            raise ContainerError(
+                f"malformed class-table entry {l} in refactored payload"
+            ) from e
+        lo = payload_start + m_offset
+        raw = view[lo : lo + m_nbytes]
+        if raw.nbytes != m_nbytes:
+            raise ContainerError(
+                f"truncated class {l} in refactored payload "
+                f"(offset {lo}: got {raw.nbytes} of {m_nbytes} bytes)"
+            )
+        if verify and zlib.crc32(raw) != m_crc:
+            raise ContainerError(
+                f"checksum mismatch for class {l} (offset {lo}, {m_nbytes} bytes)"
+            )
         classes.append(np.frombuffer(raw, dtype=np.float64).copy())
     return header, classes
 
@@ -281,6 +341,8 @@ class ShardedFileReader:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self.header, self._payload_start = _read_header(self.path, _SHARD_MAGIC)
+        if not isinstance(self.header.get("shards"), list):
+            raise ContainerError(f"header in {self.path} missing its shard table")
 
     @property
     def shape(self) -> tuple[int, ...]:

@@ -1,0 +1,254 @@
+"""Offline integrity scrub for step-stream directories (``repro-verify``).
+
+A stream directory's durability story (atomic renames, CRC-framed
+containers, reader-side quarantine) handles corruption *lazily* — a bad
+step is discovered when somebody reads it.  This module is the eager
+counterpart: walk a stream once, verify every container end to end
+(magic, header schema, every payload CRC, sharded steps' shard tables
+*and* each embedded shard container), and report exactly what a reader
+would have to recover from — before anyone depends on the data.
+
+Checks per step, by container type:
+
+``.rprc``
+    Full :func:`~repro.io.container.read_refactored_stream` parse with
+    CRC verification of every class payload.
+
+``.mgz``
+    Full :func:`~repro.compress.fileio.load_compressed` parse — header
+    schema plus every extent CRC.
+
+``.rpsh``
+    Shard-table schema, per-shard CRC
+    (:meth:`~repro.io.container.ShardedFileReader.read_shard`), and a
+    parse of each *embedded* shard container (their inner CRCs too).
+
+Beyond the steps themselves the scrub flags stale ``*.tmp`` files (a
+writer died mid-publish) and orphan step files the manifest never
+references (a crash between rename and manifest flush).  With
+``quarantine=True`` corrupt step files and crash debris are moved into
+``<root>/quarantine/`` so a follower's
+:meth:`~repro.io.stream.StepStreamReader.read_step` sees a clean
+missing-file condition instead of tripping over poison bytes.
+
+Exposed as the ``repro-verify`` console script and as
+``python -m repro.io.scrub``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ContainerError
+
+__all__ = ["ScrubReport", "scrub_stream", "main"]
+
+_MANIFEST = "manifest.json"
+_STEP_SUFFIXES = (".rprc", ".mgz", ".rpsh")
+
+#: everything a corrupt container can raise during a full parse
+_SCRUB_ERRORS = (ContainerError, OSError, KeyError, TypeError, ValueError)
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one stream scrub.
+
+    ``corrupt`` maps step index → human-readable reason (missing files
+    count as corrupt: the manifest promises them).  ``stale_tmps`` and
+    ``orphans`` are crash debris — harmless to readers, but evidence of
+    an interrupted writer.  ``quarantined`` lists files moved into
+    ``<root>/quarantine/`` (empty unless the scrub ran with
+    ``quarantine=True``).
+    """
+
+    root: str
+    manifest_error: str | None = None
+    mode: str = "refactored"
+    n_steps: int = 0
+    ok: list[int] = field(default_factory=list)
+    corrupt: dict[int, str] = field(default_factory=dict)
+    stale_tmps: list[str] = field(default_factory=list)
+    orphans: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every manifest-promised step verified end to end."""
+        return self.manifest_error is None and not self.corrupt
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "clean": self.clean,
+            "manifest_error": self.manifest_error,
+            "mode": self.mode,
+            "n_steps": self.n_steps,
+            "ok": list(self.ok),
+            "corrupt": {str(k): v for k, v in sorted(self.corrupt.items())},
+            "stale_tmps": list(self.stale_tmps),
+            "orphans": list(self.orphans),
+            "quarantined": list(self.quarantined),
+        }
+
+
+def _verify_rprc(path: Path) -> None:
+    from .container import read_refactored_stream
+
+    read_refactored_stream(path.read_bytes(), verify=True)
+
+
+def _verify_mgz(path: Path) -> None:
+    from ..compress.fileio import load_compressed
+
+    load_compressed(path)
+
+
+def _verify_rpsh(path: Path, entry: dict) -> None:
+    from ..compress.fileio import load_compressed
+    from .container import ShardedFileReader, read_refactored_stream
+
+    reader = ShardedFileReader(path)
+    want = entry.get("shards")
+    if isinstance(want, list) and len(want) != reader.n_shards:
+        raise ContainerError(
+            f"shard table lists {reader.n_shards} shards, "
+            f"manifest promises {len(want)}"
+        )
+    for i in range(reader.n_shards):
+        payload = reader.read_shard(i, verify=True)
+        if reader.payload_mode == "refactored":
+            read_refactored_stream(payload, verify=True)
+        else:
+            load_compressed(payload)
+
+
+def _verify_step(path: Path, entry: dict) -> None:
+    """Fully verify one step file; raises on any defect."""
+    nbytes = entry.get("nbytes")
+    if isinstance(nbytes, int) and path.stat().st_size != nbytes:
+        raise ContainerError(
+            f"file is {path.stat().st_size} bytes, manifest recorded {nbytes}"
+        )
+    if path.suffix == ".rprc":
+        _verify_rprc(path)
+    elif path.suffix == ".mgz":
+        _verify_mgz(path)
+    elif path.suffix == ".rpsh":
+        _verify_rpsh(path, entry)
+    else:
+        raise ContainerError(f"unknown step container type {path.suffix!r}")
+
+
+def scrub_stream(root: str | Path, quarantine: bool = False) -> ScrubReport:
+    """Verify every container in the stream at ``root``.
+
+    With ``quarantine=True``, corrupt step files, stale temp files, and
+    orphans are *moved* (never deleted) into ``<root>/quarantine/``.
+    Scrubbing a live stream is safe: only files the manifest disowns or
+    that fail verification are touched, and the producer republishes
+    the manifest atomically.
+    """
+    root = Path(root)
+    report = ScrubReport(root=str(root))
+    manifest_path = root / _MANIFEST
+    try:
+        manifest = json.loads(manifest_path.read_text())
+        steps = manifest["steps"]
+        if not isinstance(steps, list):
+            raise TypeError("manifest 'steps' is not a list")
+    except _SCRUB_ERRORS + (json.JSONDecodeError,) as e:
+        report.manifest_error = f"{type(e).__name__}: {e}"
+        return report
+    report.mode = manifest.get("mode", "refactored")
+    report.n_steps = len(steps)
+
+    referenced = set()
+    for idx, entry in enumerate(steps):
+        name = entry.get("file") if isinstance(entry, dict) else None
+        if not isinstance(name, str):
+            report.corrupt[idx] = "manifest entry has no file name"
+            continue
+        referenced.add(name)
+        path = root / name
+        if not path.exists():
+            report.corrupt[idx] = f"missing file {name}"
+            continue
+        try:
+            _verify_step(path, entry)
+        except _SCRUB_ERRORS as e:
+            report.corrupt[idx] = f"{name}: {e}"
+        else:
+            report.ok.append(idx)
+
+    report.stale_tmps = sorted(p.name for p in root.glob("*.tmp"))
+    report.orphans = sorted(
+        p.name
+        for p in root.iterdir()
+        if p.suffix in _STEP_SUFFIXES and p.name not in referenced
+    )
+
+    if quarantine:
+        qdir = root / "quarantine"
+        doomed = [
+            name
+            for idx, reason in sorted(report.corrupt.items())
+            for name in [steps[idx].get("file")]
+            if isinstance(name, str) and (root / name).exists()
+        ]
+        doomed += report.stale_tmps + report.orphans
+        for name in doomed:
+            qdir.mkdir(exist_ok=True)
+            (root / name).replace(qdir / name)
+            report.quarantined.append(name)
+    return report
+
+
+def _format(report: ScrubReport) -> str:
+    lines = [f"stream {report.root} ({report.mode}, {report.n_steps} steps)"]
+    if report.manifest_error is not None:
+        lines.append(f"  MANIFEST UNREADABLE: {report.manifest_error}")
+        return "\n".join(lines)
+    lines.append(f"  ok       : {len(report.ok)}/{report.n_steps}")
+    for idx, reason in sorted(report.corrupt.items()):
+        lines.append(f"  CORRUPT  : step {idx}: {reason}")
+    for name in report.stale_tmps:
+        lines.append(f"  stale tmp: {name}")
+    for name in report.orphans:
+        lines.append(f"  orphan   : {name}")
+    for name in report.quarantined:
+        lines.append(f"  moved to quarantine/: {name}")
+    lines.append("clean" if report.clean else "NOT CLEAN")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-verify",
+        description="Scrub a step-stream directory: verify every CRC and "
+        "shard table, report crash debris.",
+    )
+    parser.add_argument("root", help="stream directory (holds manifest.json)")
+    parser.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move corrupt step files and crash debris into <root>/quarantine/",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+    report = scrub_stream(args.root, quarantine=args.quarantine)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(_format(report))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,7 @@ keeping every step — and every shard — self-contained.
 from __future__ import annotations
 
 import io
+import itertools
 import json
 import os
 from dataclasses import dataclass, field as dataclass_field
@@ -60,7 +61,9 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import faults
 from ..compress.fileio import load_compressed, save_compressed
+from ..errors import ContainerError
 from ..compress.timeseries import TimeSeriesCompressor
 from ..core.classes import CoefficientClasses, reconstruct_from_classes
 from ..core.grid import TensorHierarchy, hierarchy_for
@@ -79,6 +82,7 @@ __all__ = [
     "StreamError",
     "PreparedStep",
     "PredictedStep",
+    "RecoveryReport",
     "ShardedStep",
 ]
 
@@ -88,9 +92,72 @@ _MANIFEST = "manifest.json"
 # this many consecutive refreshes is a dead stream, not a race
 _MAX_TORN_REFRESHES = 10
 
+_DURABILITY_LEVELS = ("rename", "fsync")
+
+#: process-unique suffix counter for temp names (see :func:`_unique_tmp`)
+_TMP_COUNTER = itertools.count()
+
 
 class StreamError(RuntimeError):
     """Malformed or inconsistent stream directory."""
+
+
+# what a per-step decode may legitimately raise on a corrupt/vanished
+# step file: container parse errors (the unified ContainerError family
+# covers compressed .mgz files too), missing/unreadable files, and
+# headers that parse but describe the wrong stream (surfaced as
+# StreamError by the shape checks).  Anything else is a bug, not
+# corruption.
+_DECODE_ERRORS = (ContainerError, StreamError, OSError, KeyError, ValueError)
+
+
+def _unique_tmp(dst: Path) -> Path:
+    """A collision-free temp path next to ``dst``.
+
+    ``<name>.<pid>.<seq>.tmp``: unique across writer processes sharing
+    a root (pid) and across commits within one process (seq), so a
+    crashed predecessor's stale ``.tmp`` can never be half-overwritten
+    by — or renamed under — a live commit.  Stale temps are swept on
+    writer open.
+    """
+    return dst.parent / f"{dst.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_publish(dst: Path, payload: bytes, durability: str, site: str) -> None:
+    """Publish ``payload`` at ``dst`` via unique-temp write + atomic rename.
+
+    The one commit primitive of the stream layer (step files and the
+    manifest both go through it).  ``durability="fsync"`` fsyncs the
+    temp file before the rename and the parent directory after it, so
+    a completed publish survives power loss; ``"rename"`` (the default)
+    guarantees only atomicity — a crashed *machine* may lose or
+    truncate the file, which is exactly what the ``{site}.file``
+    corruption fault simulates.  Crash points: ``{site}.pre_tmp``
+    (nothing on disk yet), ``{site}.post_tmp`` (stale temp left
+    behind).  A fault-injected crash leaves the same artifacts a real
+    ``kill -9`` would.
+    """
+    faults.crash_point(f"{site}.pre_tmp")
+    tmp = _unique_tmp(dst)
+    with open(tmp, "wb") as f:
+        f.write(payload)
+        if durability == "fsync":
+            f.flush()
+            os.fsync(f.fileno())
+    faults.crash_point(f"{site}.post_tmp")
+    os.replace(tmp, dst)  # atomic on POSIX
+    if durability == "fsync":
+        _fsync_dir(dst.parent)
+    faults.corrupt_file(f"{site}.file", dst)
 
 
 @dataclass
@@ -134,6 +201,28 @@ class PredictedStep:
 
 
 @dataclass
+class RecoveryReport:
+    """How a degraded read was served (see ``StepStreamReader``).
+
+    Produced whenever :meth:`StepStreamReader.read_step` or
+    :meth:`StepStreamReader.read_region` recovers from corruption
+    instead of raising; exposed as ``reader.last_recovery`` (``None``
+    after a clean, exact read).
+    """
+
+    requested: int
+    #: the step whose state the returned field actually represents —
+    #: earlier than ``requested`` when the chain rolled back
+    served: int | None
+    #: all steps this reader has quarantined so far (sorted)
+    quarantined: list[int]
+    degraded: bool
+    #: axis-0 row ranges of a region read that no surviving shard
+    #: covered (NaN-filled in the returned array)
+    failed_extents: list[tuple[int, int]] = dataclass_field(default_factory=list)
+
+
+@dataclass
 class ShardedStep:
     """One sharded-stream step awaiting its shard-parallel encode.
 
@@ -168,6 +257,16 @@ class StepStreamWriter:
     executor:
         Executor spec or instance scheduling the encode fan-out (the
         shard fan-out, for sharded streams).
+    durability:
+        What :meth:`commit_step` guarantees once it returns.
+        ``"rename"`` (default): the step file and manifest were
+        published by atomic rename — a concurrent reader never sees a
+        partial step, and a killed *process* loses nothing committed,
+        but a crashed machine may lose or truncate files still in the
+        page cache.  ``"fsync"``: additionally fsync every published
+        file and its directory entry, so committed steps survive power
+        loss (measurably slower per commit; ``repro-bench chaos``
+        quantifies the cost).
     shards:
         Split every step along axis 0 into this many shard segments
         (``None``/``1`` keeps steps monolithic).  Sharded steps are
@@ -194,9 +293,23 @@ class StepStreamWriter:
         executor=None,
         reuse_codebooks: bool = True,
         shards: int | None = None,
+        durability: str = "rename",
     ):
+        if durability not in _DURABILITY_LEVELS:
+            raise ValueError(
+                f"unknown durability {durability!r}; choose from {_DURABILITY_LEVELS}"
+            )
+        self.durability = durability
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # sweep a crashed predecessor's half-written temp files: no
+        # manifest ever references a .tmp, and live commits use unique
+        # names, so anything matching here is dead weight
+        for stale in self.root.glob("*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - racing sweeper
+                pass
         self.refactorer = Refactorer(tuple(shape))
         self.stream_mode = "refactored" if tol is None else "compressed"
         self._backend = backend
@@ -274,6 +387,7 @@ class StepStreamWriter:
         self._next_index = len(self._steps)
 
     def _flush_manifest(self, shape) -> None:
+        faults.crash_point("stream.manifest.pre_flush")
         doc = {"shape": list(shape), "mode": self.stream_mode, "steps": self._steps}
         if self._shard_plan is not None:
             doc["shards"] = [
@@ -286,9 +400,9 @@ class StepStreamWriter:
             if self._compressor is not None:
                 doc["key_interval"] = self._compressor.key_interval
         payload = json.dumps(doc, indent=1)
-        tmp = self._manifest_path.with_suffix(".tmp")
-        tmp.write_text(payload)
-        os.replace(tmp, self._manifest_path)  # atomic on POSIX
+        _atomic_publish(
+            self._manifest_path, payload.encode(), self.durability, "stream.manifest"
+        )
 
     @property
     def n_steps(self) -> int:
@@ -490,7 +604,11 @@ class StepStreamWriter:
 
         Commits must arrive in encode order — the manifest records a
         contiguous prefix, and a concurrent reader may only ever see
-        fully-written steps (tmp file + atomic rename).
+        fully-written steps (unique temp file + atomic rename).  A
+        writer killed anywhere inside this call leaves the stream
+        reopenable: either the step is fully in the manifest, or it is
+        invisible (at worst a swept-on-open temp file or an orphan step
+        file the resumed writer republishes under the same name).
         """
         if prep.index != len(self._steps):
             raise StreamError(
@@ -498,9 +616,10 @@ class StepStreamWriter:
                 f"has {len(self._steps)} steps (after an aborted pipeline, "
                 "call abandon_pending() and re-encode)"
             )
-        tmp = self.root / (prep.name + ".tmp")
-        tmp.write_bytes(prep.payload)
-        os.replace(tmp, self.root / prep.name)
+        _atomic_publish(
+            self.root / prep.name, prep.payload, self.durability, "stream.step"
+        )
+        faults.crash_point("stream.commit.post_rename")
         self._steps.append({"file": prep.name, **prep.entry})
         self._flush_manifest(self.refactorer.shape)
         return prep.index
@@ -532,6 +651,13 @@ class StepStreamReader:
         self._prev: np.ndarray | None = None
         self._scratch: dict = {}
         self._refresh_failures = 0
+        #: steps whose files failed CRC/parse checks, step -> reason.
+        #: Quarantined steps are skipped by chain recovery (a delta
+        #: chain cannot cross them) but retried on direct access, so a
+        #: repaired file heals without reopening the reader.
+        self.quarantined: dict[int, str] = {}
+        #: recovery report of the most recent read (None = clean/exact)
+        self.last_recovery: RecoveryReport | None = None
 
     @property
     def n_steps(self) -> int:
@@ -661,7 +787,7 @@ class StepStreamReader:
     # ------------------------------------------------------------------
     # sharded-mode region decode
 
-    def read_region(self, step: int, region=None) -> np.ndarray:
+    def read_region(self, step: int, region=None, on_error: str = "recover") -> np.ndarray:
         """Reconstruct a sub-volume of one step, decoding only its shards.
 
         ``region`` is a tuple of slices into the full step grid (fewer
@@ -674,16 +800,38 @@ class StepStreamReader:
         (refactored shards reconstruct losslessly; compressed shards
         honour the stream's L∞ bound).  Unsharded streams fall back to
         a whole-step decode and slice.
+
+        Shards are independent failure domains, and ``on_error``
+        (default ``"recover"``) exploits that: a shard whose bytes fail
+        their CRC or parse is *skipped* — its rows come back NaN-filled
+        and ``self.last_recovery`` records the lost axis-0 extents —
+        while every surviving shard is served exactly.  Only when **no**
+        covering shard decodes (or the step's shard table itself is
+        unreadable) does the read raise :class:`StreamError`.
+        ``on_error="raise"`` restores fail-stop behaviour.
         """
+        if on_error not in ("recover", "raise"):
+            raise ValueError(f"on_error must be 'recover' or 'raise', got {on_error!r}")
         meta = self._meta(step)
         region = self._normalize_region(region)
         if self.shard_bounds is None:
             if self.stream_mode == "compressed":
-                return self.read_step(step)[region].copy()
+                return self.read_step(step, on_error=on_error)[region].copy()
             field, _ = self.read(step, k=len(meta["class_bytes"]))
             return field[region].copy()
         lo, hi, _ = region[0].indices(self.shape[0])
-        reader = ShardedFileReader(self.root / meta["file"])
+        self.last_recovery = None
+        try:
+            reader = ShardedFileReader(self.root / meta["file"])
+            covering = reader.shards_covering(lo, hi)
+            bounds = reader.shard_bounds()
+        except _DECODE_ERRORS as e:
+            if on_error == "raise":
+                raise
+            self.quarantined.setdefault(step, str(e))
+            raise StreamError(
+                f"step {step}: sharded container unreadable ({e})"
+            ) from e
         out = np.empty(
             (hi - lo,) + tuple(
                 len(range(*sl.indices(n)))
@@ -692,13 +840,35 @@ class StepStreamReader:
             dtype=np.float64,
         )
         rest = tuple(region[1:])
-        for i in reader.shards_covering(lo, hi):
-            a, b = reader.shard_bounds()[i]
-            block = self._decode_shard(reader, i)
+        failed: list[tuple[int, int]] = []
+        for i in covering:
+            a, b = bounds[i]
             cut_lo, cut_hi = max(lo, a), min(hi, b)
+            try:
+                block = self._decode_shard(reader, i)
+            except _DECODE_ERRORS as e:
+                if on_error == "raise":
+                    raise
+                out[cut_lo - lo : cut_hi - lo] = np.nan
+                failed.append((cut_lo, cut_hi))
+                continue
             out[cut_lo - lo : cut_hi - lo] = block[
                 (slice(cut_lo - a, cut_hi - a),) + rest
             ]
+        if failed:
+            if len(failed) == len(covering):
+                self.quarantined.setdefault(step, "every covering shard corrupt")
+                raise StreamError(
+                    f"step {step}: all {len(covering)} shards covering rows "
+                    f"[{lo}, {hi}) failed to decode"
+                )
+            self.last_recovery = RecoveryReport(
+                requested=step,
+                served=step,
+                quarantined=sorted(self.quarantined),
+                degraded=True,
+                failed_extents=failed,
+            )
         return out
 
     def _decode_shard(self, reader: ShardedFileReader, i: int) -> np.ndarray:
@@ -735,7 +905,7 @@ class StepStreamReader:
     # ------------------------------------------------------------------
     # compressed-mode decode
 
-    def read_step(self, step: int) -> np.ndarray:
+    def read_step(self, step: int, on_error: str = "recover") -> np.ndarray:
         """Reconstruct one full step of a compressed or sharded stream.
 
         Compressed streams honour ``tol``; sequential reads cost one
@@ -744,27 +914,89 @@ class StepStreamReader:
         code-book chain along the way.  Sharded streams (either payload
         mode) decode all shards of ``step`` directly — independent
         partitions need no chain replay.
+
+        With ``on_error="recover"`` (the default) a step whose file
+        fails its CRC or parse is **quarantined** instead of poisoning
+        the stream: the read serves the nearest decodable state at or
+        before ``step`` — rolling the delta chain back to the last good
+        step, or to an earlier key-frame chain when the corruption sits
+        at a chain head — and ``self.last_recovery`` reports which step
+        was actually served.  Only when no decodable key-frame chain
+        exists at all does the read raise :class:`StreamError`.
+        ``on_error="raise"`` restores fail-stop behaviour (the first
+        corrupt file in the replay chain raises).
         """
+        if on_error not in ("recover", "raise"):
+            raise ValueError(f"on_error must be 'recover' or 'raise', got {on_error!r}")
         if self.shard_bounds is not None:
             # sharded steps are independent (no temporal chain) in both
             # payload modes: a full read is the all-shards region read
-            return self.read_region(step)
+            return self.read_region(step, on_error=on_error)
         if self.stream_mode != "compressed":
             raise StreamError(
                 f"read_step needs a 'compressed' stream; this one is "
                 f"{self.stream_mode!r} (use read/read_full)"
             )
         self._meta(step)  # range check
+        self.last_recovery = None
         if self._pos is not None and step == self._pos:
             return self._prev.copy()
         if self._pos is not None and step == self._pos + 1:
             start = step
         else:
             start = self._latest_key_at_or_before(step)
-            self._pos, self._prev = None, None
-            self._scratch = {}
+            self._reset_chain()
         for s in range(start, step + 1):
-            self._decode_forward(s)
+            try:
+                self._decode_forward(s)
+            except _DECODE_ERRORS as e:
+                if on_error == "raise":
+                    raise
+                self.quarantined.setdefault(s, str(e))
+                return self._recover_read(step)
+        return self._prev.copy()
+
+    def _reset_chain(self) -> None:
+        self._pos, self._prev = None, None
+        self._scratch = {}
+
+    def _recover_read(self, step: int) -> np.ndarray:
+        """Serve the nearest decodable state at or before ``step``.
+
+        Called after a chain decode hit a quarantined step.  If the
+        chain had already produced state (the corrupt step was
+        mid-chain), that pre-failure state *is* the nearest decodable
+        one.  Otherwise the chain head itself was undecodable: walk
+        earlier key frames, replaying each candidate chain up to the
+        first corrupt step, until one yields any state.  Raises
+        :class:`StreamError` when no chain does — a stream with every
+        key frame poisoned has nothing safe to serve.
+        """
+        if self._pos is None:
+            for k in range(step - 1, -1, -1):
+                if not self.steps[k].get("is_key") or k in self.quarantined:
+                    continue
+                self._reset_chain()
+                try:
+                    for s in range(k, step + 1):
+                        if s in self.quarantined:
+                            break  # a delta chain cannot cross a hole
+                        self._decode_forward(s)
+                except _DECODE_ERRORS as e:
+                    self.quarantined.setdefault(s, str(e))
+                if self._pos is not None:
+                    break
+        if self._pos is None:
+            raise StreamError(
+                f"step {step}: no decodable key-frame chain at or before it "
+                f"(quarantined steps: {sorted(self.quarantined)})"
+            )
+        self.last_recovery = RecoveryReport(
+            requested=step,
+            served=self._pos,
+            quarantined=sorted(self.quarantined),
+            degraded=self._pos != step,
+        )
         return self._prev.copy()
 
     def _latest_key_at_or_before(self, step: int) -> int:

@@ -43,6 +43,9 @@ import concurrent.futures
 import os
 import pickle
 import threading
+import time
+
+from .. import faults
 
 __all__ = [
     "SerialExecutor",
@@ -141,6 +144,25 @@ def _picklable(fn) -> bool:
         return False
 
 
+class _KillMarked:
+    """Picklable work-function wrapper carrying injected worker kills.
+
+    The parent decides *which* job indices die
+    (:func:`repro.faults.kill_indices` — deterministic, seeded) and
+    ships one boolean per job; a marked job ``os._exit``\\ s its worker
+    mid-batch, which is exactly what an OOM kill or a segfault looks
+    like to the pool: :class:`BrokenProcessPool` on the whole batch.
+    """
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, kill, *args):
+        if kill:
+            os._exit(113)
+        return self.fn(*args)
+
+
 class ProcessExecutor:
     """Process-pool executor for GIL-bound work units.
 
@@ -149,16 +171,39 @@ class ProcessExecutor:
     :mod:`repro.compress`); anything else runs inline, preserving
     correctness at zero concurrency.  ``map`` preserves submission
     order.  The pool forks lazily on first real use (spawn where fork
-    is unavailable) and is shared by every call; a broken pool (a
-    worker killed under it) is torn down and the batch re-runs inline.
+    is unavailable) and is shared by every call.
+
+    **Recovery policy:** a broken pool (a worker killed under it — OOM
+    killer, segfault, injected fault) fails the whole in-flight batch
+    with :class:`BrokenProcessPool`.  Work units scheduled here are
+    pure functions of their arguments, so the batch is safely
+    re-runnable: the pool is torn down and **rebuilt**, and the batch
+    retried up to ``max_retries`` times with exponential backoff
+    (``backoff_s`` doubling per attempt) before degrading to a single
+    inline run — bounded persistence instead of the permanent
+    serial-forever degradation a one-shot fallback would impose on a
+    long-running service.  ``stats`` counts ``broken_pools``,
+    ``rebuilds``, and ``inline_fallbacks`` so chaos benchmarks (and
+    operators) can see the policy working.
     """
 
     kind = "process"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        max_retries: int = 2,
+        backoff_s: float = 0.05,
+    ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
         self.max_workers = max_workers or available_workers()
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.stats = {"broken_pools": 0, "rebuilds": 0, "inline_fallbacks": 0}
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
 
@@ -207,17 +252,37 @@ class ProcessExecutor:
         jobs = list(zip(*iterables))
         if len(jobs) <= 1 or not _picklable(fn):
             return [fn(*args) for args in jobs]
-        try:
-            return list(self._ensure_pool().map(fn, *zip(*jobs)))
-        except concurrent.futures.process.BrokenProcessPool:
-            self.shutdown()
-            return [fn(*args) for args in jobs]
-        except RuntimeError:
-            # a sibling thread observed the pool break and tore it down
-            # between our _ensure_pool() and map() ("cannot schedule new
-            # futures after shutdown"); work units are pure, so rerun
-            # inline — a genuine RuntimeError from fn re-raises here
-            return [fn(*args) for args in jobs]
+        delay = self.backoff_s
+        for attempt in range(self.max_retries + 1):
+            # re-drawn per attempt: a count-limited kill fault exhausts
+            # its budget and the retried batch goes through clean
+            kills = faults.kill_indices("executor.process.map", len(jobs))
+            try:
+                pool = self._ensure_pool()
+                if kills:
+                    marks = [i in kills for i in range(len(jobs))]
+                    return list(pool.map(_KillMarked(fn), marks, *zip(*jobs)))
+                return list(pool.map(fn, *zip(*jobs)))
+            except concurrent.futures.process.BrokenProcessPool:
+                self.stats["broken_pools"] += 1
+                self.shutdown()
+                if attempt < self.max_retries:
+                    self.stats["rebuilds"] += 1
+                    time.sleep(delay)
+                    delay *= 2
+                    continue
+                # retries exhausted: keep the caller alive at zero
+                # concurrency (kill marks never apply inline — they
+                # simulate *worker* deaths, not the coordinator's)
+                self.stats["inline_fallbacks"] += 1
+                return [fn(*args) for args in jobs]
+            except RuntimeError:
+                # a sibling thread observed the pool break and tore it
+                # down between our _ensure_pool() and map() ("cannot
+                # schedule new futures after shutdown"); work units are
+                # pure, so rerun inline — a genuine RuntimeError from fn
+                # re-raises here
+                return [fn(*args) for args in jobs]
 
     def prime(self) -> None:
         """Fork/spawn the worker pool *now*.
