@@ -7,7 +7,8 @@ import io
 import pathlib
 
 MODULES = [
-    "repro", "repro.core", "repro.kernels", "repro.gpu", "repro.cluster",
+    "repro", "repro.core", "repro.kernels", "repro.kernels.launcher",
+    "repro.gpu", "repro.cluster",
     "repro.compress", "repro.parallel", "repro.io", "repro.io.scrub",
     "repro.faults", "repro.workloads", "repro.analysis", "repro.experiments",
 ]

@@ -343,6 +343,15 @@ def main(argv: list[str] | None = None) -> int:
         "via REPRO_EXECUTOR",
     )
     parser.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=("reference", "numba", "auto"),
+        help="kernel backend policy: reference (NumPy), numba (compiled, "
+        "falls back with a warning when not installed), or auto "
+        "(measured per-shape selection); also settable via "
+        "REPRO_KERNEL_BACKEND",
+    )
+    parser.add_argument(
         "--mode",
         default="refactored",
         choices=("refactored", "compressed"),
@@ -368,6 +377,10 @@ def main(argv: list[str] | None = None) -> int:
         "measured vs modeled walls) as JSON to PATH",
     )
     args = parser.parse_args(argv)
+    if args.kernel_backend is not None:
+        from repro.kernels.launcher import set_kernel_backend
+
+        set_kernel_backend(args.kernel_backend)
     if args.executor is not None:
         from repro.compress.executor import set_default_executor
 

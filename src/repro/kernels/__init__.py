@@ -12,9 +12,23 @@ from .launches import (
     category_of,
     iter_decompose_launches,
 )
-from .autotune import TuneResult, autotune
+from .autotune import (
+    KERNEL_TUNE_SCHEMA,
+    TuneResult,
+    autotune,
+    autotune_backend,
+    select_backend,
+)
 from .batch3d import SliceLaunch, SlicedLinearProcessor
 from .grid_processing import GridProcessingKernel, interpolation_thread_assignment
+from .launcher import (
+    KernelLauncher,
+    available_backends,
+    get_launcher,
+    kernel_backend_policy,
+    run_op,
+    set_kernel_backend,
+)
 from .linear_processing import LinearProcessingKernel
 from .metered import CPU_BASELINE_OPTIONS, CpuRefEngine, GpuSimEngine, MeteredEngine
 from .tiled_engine import TiledEngine
@@ -23,6 +37,8 @@ __all__ = [
     "CATEGORY",
     "CPU_BASELINE_OPTIONS",
     "GridProcessingKernel",
+    "KERNEL_TUNE_SCHEMA",
+    "KernelLauncher",
     "LinearProcessingKernel",
     "SliceLaunch",
     "TuneResult",
@@ -33,7 +49,14 @@ __all__ = [
     "MeteredEngine",
     "TiledEngine",
     "autotune",
+    "autotune_backend",
+    "available_backends",
     "category_of",
+    "get_launcher",
     "interpolation_thread_assignment",
     "iter_decompose_launches",
+    "kernel_backend_policy",
+    "run_op",
+    "select_backend",
+    "set_kernel_backend",
 ]

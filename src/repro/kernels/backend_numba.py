@@ -1,0 +1,301 @@
+"""Compiled (numba) kernels for the hot loops behind the launcher seam.
+
+Each public wrapper here implements one launcher op with the *same
+array ABI* as the reference implementation in
+:mod:`repro.kernels.launcher` and is required to be bit-identical to
+it — the per-element arithmetic keeps the reference's operand order
+(IEEE float ops are deterministic, so same order ⇒ same bits), integer
+kernels are exact by construction, and stores into lower-precision
+outputs happen at the same points so any double-rounding matches.
+Tests cross-check every op against the reference backend exactly as
+the scalar Huffman encoders cross-check the vectorized ones.
+
+The ``@njit(cache=True)`` kernels compile once per (dtype, layout)
+signature and persist the machine code on disk, so the JIT cost is
+paid once per machine, not per process; batch-parallel kernels use
+``prange`` where iterations are independent (the thread layer the
+paper gets from its thread blocks).  Nothing in this module imports
+numba directly — the decorators come from :mod:`repro.kernels.jit`,
+the package's single import guard — and nothing here runs unless the
+numba backend was selected, so the module is inert without the extra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .jit import njit, prange
+
+__all__ = ["NUMBA_OPS"]
+
+_U1 = np.uint64(1)
+_U63 = np.uint64(63)
+_SIGN = np.uint64(0x8000000000000000)
+
+
+# ----------------------------------------------------------------------
+# linear-processing kernels (batch-parallel over vectors)
+
+
+@njit(cache=True, parallel=True)
+def _mass_kernel(v, h, out):  # pragma: no cover - compiled
+    B, m = v.shape
+    for b in prange(B):
+        out[b, 0] = (2.0 * h[0] * v[b, 0] + h[0] * v[b, 1]) / 6.0
+        for y in range(1, m - 1):
+            h1 = h[y - 1]
+            h2 = h[y]
+            out[b, y] = (
+                h1 * v[b, y - 1] + 2.0 * (h1 + h2) * v[b, y] + h2 * v[b, y + 1]
+            ) / 6.0
+        out[b, m - 1] = (h[m - 2] * v[b, m - 2] + 2.0 * h[m - 2] * v[b, m - 1]) / 6.0
+
+
+def mass(v2, h):
+    """Mass-matrix apply over a (batch, m) block; m >= 2."""
+    out = np.empty_like(v2)
+    _mass_kernel(v2, h, out)
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _transfer_kernel(f, coarse_pos, interval_detail, w_left, w_right, m_detail, out):
+    # pragma: no cover - compiled
+    B, mc = out.shape
+    for b in prange(B):
+        for j in range(mc):
+            out[b, j] = f[b, coarse_pos[j]]
+            if m_detail > 0:
+                # own-interval (left-weight) contribution before the
+                # previous interval's right-weight one — the reference
+                # accumulation order, kept for bit identity
+                if j < mc - 1:
+                    out[b, j] += w_left[j] * f[b, interval_detail[j]]
+                if j > 0:
+                    out[b, j] += w_right[j - 1] * f[b, interval_detail[j - 1]]
+
+
+def transfer(f2, coarse_pos, interval_detail, w_left, w_right, m_detail):
+    """Restriction of a (batch, m_fine) block to (batch, m_coarse)."""
+    out = np.empty((f2.shape[0], coarse_pos.size), dtype=f2.dtype)
+    _transfer_kernel(f2, coarse_pos, interval_detail, w_left, w_right, int(m_detail), out)
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _solve_kernel(z, lower, cp, denom):  # pragma: no cover - compiled
+    B, mc = z.shape
+    for b in prange(B):
+        z[b, 0] = z[b, 0] / denom[0]
+        for i in range(1, mc):
+            z[b, i] = (z[b, i] - lower[i - 1] * z[b, i - 1]) / denom[i]
+        for i in range(mc - 2, -1, -1):
+            z[b, i] = z[b, i] - cp[i] * z[b, i + 1]
+
+
+def solve(f2, lower, cp, denom):
+    """Thomas solve over a (batch, m_coarse) block; always float64 out."""
+    z = f2.astype(np.float64)  # astype copies; the kernel works in place
+    _solve_kernel(z, lower, cp, denom)
+    return z
+
+
+# ----------------------------------------------------------------------
+# quantizer kernels (elementwise, fused)
+
+
+@njit(cache=True, parallel=True)
+def _quantize_kernel(flat, inv, out):  # pragma: no cover - compiled
+    for i in prange(flat.size):
+        out[i] = np.int64(np.rint(flat[i] * inv[i]))
+
+
+def quantize(flat, inv):
+    """Fused ``round(flat * inv) -> int64`` (np.rint == np.round here)."""
+    out = np.empty(flat.size, dtype=np.int64)
+    _quantize_kernel(flat, inv, out)
+    return out
+
+
+@njit(cache=True, parallel=True)
+def _dequantize_kernel(bins, scale, out):  # pragma: no cover - compiled
+    for i in prange(bins.size):
+        out[i] = bins[i] * scale[i]
+
+
+def dequantize(bins, scale):
+    """Fused ``bins * scale -> float64``."""
+    out = np.empty(bins.size, dtype=np.float64)
+    _dequantize_kernel(bins, scale, out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Huffman pack: word-aligned scatter-OR of (code, length) chunks
+
+
+@njit(cache=True)
+def _pack_kernel(c_codes, c_lens, offsets, buf):  # pragma: no cover - compiled
+    # sequential: consecutive chunks OR into overlapping words, so this
+    # loop carries a true dependence the vector path resolves with
+    # reduceat; one fused pass beats the multi-pass NumPy pipeline
+    for k in range(c_codes.size):
+        off = offsets[k]
+        s = (off & 63) + c_lens[k]
+        w = off >> 6
+        code = c_codes[k]
+        if s <= 64:
+            buf[w] |= code << np.uint64(64 - s)
+        else:
+            buf[w] |= code >> np.uint64(s - 64)
+            buf[w + 1] |= code << np.uint64(128 - s)
+
+
+def huff_pack(c_codes, c_lens, offsets):
+    """MSB-first pack into big-endian 64-bit words (+1 spill word)."""
+    n_words = (int(offsets[-1]) + 63) >> 6
+    buf = np.zeros(n_words + 1, dtype=np.uint64)
+    _pack_kernel(c_codes, c_lens, offsets, buf)
+    return buf
+
+
+# ----------------------------------------------------------------------
+# Huffman sync-block decode: independent cursor walk per block
+#
+# The reference path advances all block cursors in vectorized lockstep
+# (one NumPy step per symbol slot).  Compiled, each block can simply be
+# walked to completion independently — same canonical first-code
+# tables, same windows, same outputs — and the blocks parallelize with
+# prange.
+
+
+@njit(cache=True, parallel=True)
+def _decode_blocks_kernel(
+    words,
+    starts,
+    ends,
+    rem,
+    total,
+    lens_arr,
+    first_arr,
+    count_arr,
+    base_arr,
+    limits,
+    flat_syms,
+    esc_flat,
+    esc_len,
+    sync_block,
+    out,
+    status,
+):  # pragma: no cover - compiled
+    n_blocks = starts.size
+    n_limits = limits.size
+    max_wi = words.size - 2  # window reads touch words[wi] and words[wi + 1]
+    for b in prange(n_blocks):
+        pos = starts[b]
+        cnt = sync_block if b < n_blocks - 1 else rem
+        err = 0
+        for _t in range(cnt):
+            if pos > total:
+                err = 2  # truncated
+                break
+            wi = pos >> 6
+            if wi > max_wi:
+                err = 2
+                break
+            r = np.uint64(pos & 63)
+            win = (words[wi] << r) | ((words[wi + 1] >> (_U63 - r)) >> _U1)
+            li = 0
+            while li < n_limits and limits[li] <= win:
+                li += 1
+            L = lens_arr[li]
+            rank = (win >> np.uint64(64 - L)) - first_arr[li]
+            if rank >= count_arr[li]:
+                err = 1  # no codeword matches
+                break
+            flat = base_arr[li] + np.int64(rank)
+            sym = flat_syms[flat]
+            step = L
+            if flat == esc_flat:
+                epos = pos + esc_len
+                ewi = epos >> 6
+                if ewi > max_wi:
+                    err = 2
+                    break
+                er = np.uint64(epos & 63)
+                raw = (words[ewi] << er) | ((words[ewi + 1] >> (_U63 - er)) >> _U1)
+                if raw & _SIGN:  # two's complement reinterpretation
+                    sym = -np.int64(~raw) - 1
+                else:
+                    sym = np.int64(raw)
+                step = L + 64
+            out[b, _t] = sym
+            pos += step
+        if err == 0 and pos != ends[b]:
+            err = 3  # sync mismatch
+        status[b] = err
+
+
+_DECODE_ERRORS = {
+    1: "corrupt Huffman payload: no codeword matches",
+    2: "truncated Huffman payload",
+    3: "corrupt Huffman payload: sync mismatch",
+}
+
+
+def huff_decode(
+    words,
+    starts,
+    ends,
+    rem,
+    total,
+    lens_arr,
+    first_arr,
+    count_arr,
+    base_arr,
+    limits,
+    flat_syms,
+    esc_flat,
+    esc_len,
+    sync_block,
+):
+    """Decode one run of sync blocks; raises the reference ValueErrors."""
+    n_blocks = starts.size
+    out = np.empty((n_blocks, sync_block), dtype=np.int64)
+    status = np.zeros(n_blocks, dtype=np.int64)
+    _decode_blocks_kernel(
+        np.ascontiguousarray(words),
+        np.ascontiguousarray(starts),
+        np.ascontiguousarray(ends),
+        int(rem),
+        int(total),
+        lens_arr,
+        first_arr,
+        count_arr,
+        base_arr,
+        limits,
+        flat_syms,
+        int(esc_flat),
+        int(esc_len),
+        int(sync_block),
+        out,
+        status,
+    )
+    bad = status[status != 0]
+    if bad.size:
+        raise ValueError(_DECODE_ERRORS[int(bad.min())])
+    return np.concatenate([out[:-1].reshape(-1), out[-1, :rem]])
+
+
+#: op name -> compiled-backend implementation (the launcher registers
+#: these behind the ``numba`` backend; the reference twins live in
+#: :mod:`repro.kernels.launcher`)
+NUMBA_OPS = {
+    "mass": mass,
+    "transfer": transfer,
+    "solve": solve,
+    "quantize": quantize,
+    "dequantize": dequantize,
+    "huff_pack": huff_pack,
+    "huff_decode": huff_decode,
+}

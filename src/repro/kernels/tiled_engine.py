@@ -43,12 +43,22 @@ class TiledEngine(NumpyEngine):
         Linear-processing main-region length.
     n_streams:
         Simulated streams for the 3D slice walks.
+    kernel_backend:
+        Kernel-backend policy forwarded to the linear-processing
+        kernels (``None`` defers to the process-wide policy).
     """
 
-    def __init__(self, b: int = 3, segment: int = 16, n_streams: int = 8):
+    def __init__(
+        self,
+        b: int = 3,
+        segment: int = 16,
+        n_streams: int = 8,
+        kernel_backend: str | None = None,
+    ):
         self.b = b
         self.segment = segment
         self.n_streams = n_streams
+        self.kernel_backend = kernel_backend
         self._grid_kernels: dict[tuple[int, int], GridProcessingKernel] = {}
         self.slice_launches = 0  # §III-D accounting, for tests/inspection
 
@@ -69,11 +79,13 @@ class TiledEngine(NumpyEngine):
     def _linear(self, data: np.ndarray, ops: LevelOps, axis: int, op: str) -> np.ndarray:
         if data.ndim == 3:
             proc = SlicedLinearProcessor(ops, n_streams=self.n_streams,
-                                         segment=self.segment)
+                                         segment=self.segment,
+                                         backend=self.kernel_backend)
             out = getattr(proc, op)(data, axis)
             self.slice_launches += len(proc.launches)
             return out
-        kernel = LinearProcessingKernel(ops, segment=self.segment)
+        kernel = LinearProcessingKernel(ops, segment=self.segment,
+                                        backend=self.kernel_backend)
         moved = np.moveaxis(data, axis, -1)
         out = getattr(kernel, _METHOD_2D[op])(np.ascontiguousarray(moved))
         return np.moveaxis(out, -1, axis)

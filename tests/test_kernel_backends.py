@@ -1,0 +1,379 @@
+"""Kernel-launcher seam: backend registry, policy, and bit identity.
+
+The contract under test: every backend behind
+:mod:`repro.kernels.launcher` produces *bit-identical* results on every
+op, the selection policy (``REPRO_KERNEL_BACKEND`` / override / auto)
+resolves as documented, compiled handles are cached per
+(op, signature), and a host without numba degrades to the reference
+backend — silently under ``auto``, with exactly one warning under a
+direct ``numba`` request.
+
+The reference-vs-numba comparisons skip when numba is not installed;
+CI's jit job runs them with the compiled backend live and, separately,
+with ``REPRO_NO_NUMBA=1`` to exercise the masked fallback on a host
+that *does* have numba.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.compress.huffman import huffman_decode, huffman_encode
+from repro.core.grid import hierarchy_for
+from repro.kernels import launcher as L
+from repro.kernels.autotune import (
+    KERNEL_TUNE_SCHEMA,
+    autotune,
+    autotune_backend,
+    clear_backend_cache,
+    measure_backend_times,
+    select_backend,
+)
+from repro.kernels.jit import HAVE_NUMBA
+from repro.kernels.linear_processing import LinearProcessingKernel
+
+# the package re-exports the autotune *function*, which shadows the
+# submodule attribute; fetch the module itself for its private helpers
+_autotune_mod = sys.modules["repro.kernels.autotune"]
+
+needs_numba = pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+
+ALL_OPS = sorted(L.OP_SPECS)
+
+# adversarial op shapes: tiny, 2^k + 1 (the hierarchy's natural sizes),
+# and wide batches
+ADVERSARIAL_SHAPES = [(1, 2), (2, 3), (3, 5), (7, 17), (33, 65)]
+FLAT_SHAPES = [(1,), (7,), (257,), (4097,)]
+
+
+@pytest.fixture(autouse=True)
+def _reset_policy():
+    """Leave no policy override or warning latch behind."""
+    yield
+    L.set_kernel_backend(None)
+    L._WARNED_NO_NUMBA = False
+
+
+# ----------------------------------------------------------------------
+# policy resolution
+
+
+def test_policy_default_is_auto(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+    assert L.kernel_backend_policy() == "auto"
+
+
+def test_env_policy_is_honoured(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+    assert L.kernel_backend_policy() == "reference"
+
+
+def test_override_beats_env(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+    L.set_kernel_backend("auto")
+    assert L.kernel_backend_policy() == "auto"
+
+
+def test_invalid_policy_rejected(monkeypatch):
+    with pytest.raises(ValueError, match="kernel backend"):
+        L.set_kernel_backend("cuda")
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "cuda")
+    with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+        L.kernel_backend_policy()
+
+
+def test_unknown_backend_and_op_rejected():
+    with pytest.raises(ValueError, match="unknown kernel backend"):
+        L.get_launcher("cuda")
+    with pytest.raises(ValueError, match="unknown kernel op"):
+        L.resolve("fft", (8,), np.float64)
+
+
+def test_reference_always_available():
+    assert "reference" in L.available_backends()
+    assert L.get_launcher("reference").available()
+
+
+def test_reference_policy_never_dispatches(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "reference")
+    ran, out = L.maybe_launch("quantize", (4,), np.float64,
+                              np.ones(4), np.ones(4))
+    assert ran is False and out is None
+
+
+# ----------------------------------------------------------------------
+# graceful no-numba fallback
+
+
+@pytest.mark.skipif(HAVE_NUMBA, reason="exercises the numba-less host")
+def test_numba_request_warns_once_then_falls_back():
+    L._WARNED_NO_NUMBA = False
+    L.set_kernel_backend("numba")
+    with pytest.warns(RuntimeWarning, match="numba is not installed"):
+        lau = L.resolve("mass", (4, 5), np.float64)
+    assert lau.name == "reference"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # second resolve must stay silent
+        assert L.resolve("mass", (4, 5), np.float64).name == "reference"
+
+
+@pytest.mark.skipif(HAVE_NUMBA, reason="exercises the numba-less host")
+def test_auto_resolves_to_reference_silently():
+    L.set_kernel_backend("auto")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        for op in ALL_OPS:
+            assert L.resolve(op, (8, 9), np.float64).name == "reference"
+
+
+def test_masked_numba_import_falls_back():
+    """REPRO_NO_NUMBA=1 masks numba even where installed (CI fallback)."""
+    env = dict(os.environ, REPRO_NO_NUMBA="1")
+    env["PYTHONPATH"] = "src"
+    code = (
+        "from repro.kernels.jit import HAVE_NUMBA\n"
+        "from repro.kernels.launcher import available_backends, resolve\n"
+        "assert not HAVE_NUMBA\n"
+        "assert available_backends() == ['reference']\n"
+        "assert resolve('mass', (4, 5), 'float64').name == 'reference'\n"
+        "print('ok')\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == "ok"
+
+
+# ----------------------------------------------------------------------
+# compile cache accounting
+
+
+def test_compile_cache_hits_are_counted():
+    lau = L.ReferenceLauncher()
+    sig = L.Signature("float64", 2)
+    h1 = lau.compiled("mass", sig)
+    h2 = lau.compiled("mass", sig)
+    assert h1 is h2
+    assert lau.cache_info() == {"entries": 1, "compiles": 1, "cache_hits": 1}
+    lau.compiled("mass", L.Signature("float32", 2))  # new signature compiles
+    info = lau.cache_info()
+    assert info["entries"] == 2 and info["compiles"] == 2
+
+
+def test_signature_of_uses_first_array():
+    sig = L.signature_of(3, np.zeros((4, 5), dtype=np.float32), np.zeros(2))
+    assert sig == L.Signature("float32", 2)
+
+
+# ----------------------------------------------------------------------
+# reference twins match the production (segmented) kernels bit for bit
+#
+# The numba kernels mirror the launcher's whole-axis reference twins,
+# so these identities are what anchors the compiled backend to the
+# production arithmetic even on hosts without numba.
+
+
+@pytest.mark.parametrize("m", [5, 17, 65])
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_reference_twins_match_segmented_kernels(m, dtype, rng):
+    hier = hierarchy_for((m, m))
+    ops = hier.level_ops(hier.L, 0)
+    k = LinearProcessingKernel(ops, segment=5, backend="reference")
+    v = rng.standard_normal((8, m)).astype(dtype)
+
+    got = L.run_op("reference", "mass", v, ops.h_fine)
+    assert got.tobytes() == k.mass_multiply(v).tobytes()
+
+    got = L.run_op(
+        "reference", "transfer", v, ops.coarse_pos, ops.interval_detail,
+        ops.w_left, ops.w_right, ops.m_detail,
+    )
+    assert got.tobytes() == k.transfer_multiply(v).tobytes()
+
+    from repro.core.solver import thomas_factor
+
+    cp, denom = thomas_factor(ops)
+    vc = rng.standard_normal((8, ops.m_coarse)).astype(dtype)
+    got = L.run_op(
+        "reference", "solve", vc, ops.mass_bands_coarse[0, 1:], cp, denom
+    )
+    assert got.tobytes() == k.solve(vc).tobytes()
+
+
+def test_reference_quantize_twin_matches_numpy(rng):
+    flat = rng.standard_normal(999) * 40.0
+    inv = np.repeat(1.0 / np.asarray([0.01, 0.02, 0.4]), 333)
+    got = L.run_op("reference", "quantize", flat, inv)
+    assert np.array_equal(got, np.round(flat * inv).astype(np.int64))
+    back = L.run_op("reference", "dequantize", got, 1.0 / inv)
+    assert np.array_equal(back, got.astype(np.float64) * (1.0 / inv))
+
+
+def test_empty_arrays_roundtrip():
+    got = L.run_op("reference", "quantize", np.empty(0), np.empty(0))
+    assert got.size == 0 and got.dtype == np.int64
+    got = L.run_op("reference", "dequantize", np.empty(0, np.int64), np.empty(0))
+    assert got.size == 0 and got.dtype == np.float64
+
+
+# ----------------------------------------------------------------------
+# reference-vs-numba bit identity (CI jit job)
+
+
+def _op_args(op, shape, dtype, rng):
+    return L.OP_SPECS[op].make_inputs(shape, np.dtype(dtype), rng)
+
+
+@needs_numba
+@pytest.mark.parametrize("op", ALL_OPS)
+@pytest.mark.parametrize("dtype", [np.float64, np.float32])
+def test_numba_matches_reference_bitwise(op, dtype, rng):
+    shapes = ADVERSARIAL_SHAPES if op in ("mass", "transfer", "solve") else FLAT_SHAPES
+    for shape in shapes:
+        args = _op_args(op, shape, dtype, rng)
+        ref = L.run_op("reference", op, *args)
+        jit = L.run_op("numba", op, *args)
+        a, b = np.asarray(ref), np.asarray(jit)
+        assert a.dtype == b.dtype and a.shape == b.shape
+        assert a.tobytes() == b.tobytes(), f"{op} diverges at {shape} {dtype}"
+
+
+@needs_numba
+@pytest.mark.parametrize("op", ["mass", "transfer", "solve"])
+def test_numba_matches_reference_noncontiguous(op, rng):
+    args = list(_op_args(op, (64, 33), np.float64, rng))
+    args[0] = args[0][::2]  # strided batch view
+    ref = L.run_op("reference", op, *args)
+    jit = L.run_op("numba", op, *args)
+    assert np.asarray(ref).tobytes() == np.asarray(jit).tobytes()
+
+
+@needs_numba
+def test_numba_empty_quantize(rng):
+    ref = L.run_op("reference", "quantize", np.empty(0), np.empty(0))
+    jit = L.run_op("numba", "quantize", np.empty(0), np.empty(0))
+    assert np.array_equal(ref, jit) and jit.dtype == np.int64
+
+
+@needs_numba
+def test_huffman_container_identical_across_backends(rng):
+    values = np.rint(rng.standard_normal(20000) * 4.0).astype(np.int64)
+    values[::4097] = 1 << 40  # force escapes through the packed path
+    L.set_kernel_backend("reference")
+    p_ref, h_ref = huffman_encode(values)
+    L.set_kernel_backend("numba")
+    p_jit, h_jit = huffman_encode(values)
+    assert p_ref == p_jit and h_ref == h_jit
+    assert np.array_equal(huffman_decode(p_jit, h_jit), values)
+    L.set_kernel_backend("reference")
+    assert np.array_equal(huffman_decode(p_jit, h_jit), values)
+
+
+# ----------------------------------------------------------------------
+# measured backend autotuning
+
+
+def test_measure_backend_times_reports_available_backends(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "tune.json"))
+    clear_backend_cache()
+    times = measure_backend_times("mass", (8, 9), np.float64, repeats=1)
+    assert "reference" in times and times["reference"] > 0
+    assert set(times) <= {"reference", "numba"}
+
+
+def test_select_backend_without_numba_is_reference_and_diskless(
+    tmp_path, monkeypatch
+):
+    if HAVE_NUMBA:
+        pytest.skip("exercises the numba-less host")
+    cache = tmp_path / "tune.json"
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(cache))
+    clear_backend_cache()
+    assert select_backend("mass", (64, 65), np.float64) == "reference"
+    assert not cache.exists()  # nothing measured, nothing persisted
+
+
+@needs_numba
+def test_select_backend_persists_and_caches(tmp_path, monkeypatch):
+    import json
+
+    cache = tmp_path / "tune.json"
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(cache))
+    clear_backend_cache()
+    first = select_backend("quantize", (4096,), np.float64)
+    assert first in ("reference", "numba")
+    doc = json.loads(cache.read_text())
+    assert doc["schema"] == KERNEL_TUNE_SCHEMA
+    assert len(doc["entries"]) == 1
+    (entry,) = doc["entries"].values()
+    assert entry["why"] == "measured" and entry["backend"] == first
+    # second call must come from the in-memory cache, not re-measure
+    assert select_backend("quantize", (4096,), np.float64) == first
+    clear_backend_cache()
+
+
+def test_stale_schema_table_is_discarded(tmp_path, monkeypatch):
+    import json
+
+    cache = tmp_path / "tune.json"
+    cache.write_text(json.dumps({
+        "schema": KERNEL_TUNE_SCHEMA + 1,
+        "entries": {"mass|float64|2|13": {"backend": "numba"}},
+    }))
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(cache))
+    clear_backend_cache()
+    assert _autotune_mod._load_table() == {}
+    clear_backend_cache()
+
+
+def test_corrupt_table_is_discarded(tmp_path, monkeypatch):
+    cache = tmp_path / "tune.json"
+    cache.write_text("{not json")
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(cache))
+    clear_backend_cache()
+    assert _autotune_mod._load_table() == {}
+    clear_backend_cache()
+
+
+def test_autotune_backend_records_measured_verdict(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TUNE_CACHE", str(tmp_path / "tune.json"))
+    clear_backend_cache()
+    res = autotune_backend("dequantize", (2048,))
+    assert res.why == "measured"
+    assert res.backend in ("reference", "numba")
+    assert res.best_seconds > 0 and res.baseline_seconds > 0
+    clear_backend_cache()
+
+
+def test_modeled_autotune_records_modeled_verdict():
+    res = autotune((65, 65))
+    assert res.why == "modeled" and res.backend == "reference"
+
+
+# ----------------------------------------------------------------------
+# dispatch sites honour per-instance backend overrides
+
+
+def test_kernel_backend_param_forces_reference(rng, monkeypatch):
+    # even under a (bogus-on-this-host) numba policy, an explicit
+    # per-kernel backend="reference" must keep the NumPy path silent
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numba")
+    hier = hierarchy_for((17, 17))
+    ops = hier.level_ops(hier.L, 0)
+    k = LinearProcessingKernel(ops, segment=5, backend="reference")
+    v = rng.standard_normal((4, 17))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        out = k.mass_multiply(v)
+    assert out.shape == v.shape
