@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Service benchmark: tail latency of the async compression front-end.
+
+Drives :func:`repro.experiments.service_exp.service_experiment` — an
+open-loop load generator (N concurrent readers following a live writer,
+Poisson arrivals over real TCP) against two configurations of
+:class:`repro.service.server.CompressionService`:
+
+* **batched** — adaptive micro-batching + decoded-step LRU (default);
+* **naive** — no coalescing, no cache: every request decodes alone.
+
+Writes ``benchmarks/results/BENCH_service.json`` with throughput,
+p50/p99/p99.9 latency, the batch-coalescing rate, the cache hit rate,
+shed counts, and the naive/batched speedup per percentile, plus the
+kill-and-reconnect chaos record.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --assert-speedup 2
+
+``--assert-speedup X`` exits 1 unless the batched server beats the
+naive one by ≥ X on p99 (the CI gate runs it at full scale with 16
+readers).  ``--smoke`` (or ``REPRO_BENCH_SCALE=ci``) shrinks the load
+for CI smoke runs; ``--no-chaos`` skips the subprocess kill case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(RESULTS / "BENCH_service.json"))
+    parser.add_argument("--readers", type=int, default=None,
+                        help="concurrent reader connections (default: scale)")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="seconds of load per configuration")
+    parser.add_argument("--rate", type=float, default=None,
+                        help="combined open-loop arrival rate, req/s")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized load (same as REPRO_BENCH_SCALE=ci)")
+    parser.add_argument("--no-chaos", action="store_true",
+                        help="skip the kill-and-reconnect subprocess case")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        metavar="X", help="exit 1 unless p99 speedup >= X")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        os.environ["REPRO_BENCH_SCALE"] = "ci"
+    # import after the scale env is settled
+    from repro.experiments.service_exp import format_service, service_experiment
+    from repro.parallel import available_workers
+
+    rec = service_experiment(
+        readers=args.readers,
+        duration_s=args.duration,
+        rate_hz=args.rate,
+        chaos=not args.no_chaos,
+    )
+    report = {
+        "benchmark": "service",
+        "scale": "ci" if os.environ.get("REPRO_BENCH_SCALE") == "ci" else "full",
+        "cpu_count": available_workers(),
+        **rec,
+    }
+
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(format_service(rec))
+    print(f"[written to {out}]")
+
+    chaos = rec.get("chaos")
+    if chaos and not (chaos["read_after_kill_ok"] and chaos["converged"]):
+        print("chaos case failed: client did not reconnect/converge",
+              file=sys.stderr)
+        return 1
+    if args.assert_speedup is not None:
+        p99_x = rec["speedup"]["p99_x"]
+        if p99_x is None or p99_x < args.assert_speedup:
+            print(
+                f"p99 speedup {p99_x} below required {args.assert_speedup}x "
+                f"(batched p99 {rec['batched']['latency_ms']['p99']} ms, "
+                f"naive p99 {rec['naive']['latency_ms']['p99']} ms)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"p99 speedup {p99_x:.1f}x >= {args.assert_speedup}x: gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@ MODULES = [
     "repro", "repro.core", "repro.kernels", "repro.kernels.launcher",
     "repro.gpu", "repro.cluster",
     "repro.compress", "repro.parallel", "repro.io", "repro.io.scrub",
+    "repro.service",
     "repro.faults", "repro.workloads", "repro.analysis", "repro.experiments",
 ]
 

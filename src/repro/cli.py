@@ -277,6 +277,11 @@ def _chaos() -> str:
     return E.format_chaos(E.chaos_experiment())
 
 
+def _service() -> str:
+    """Network-service load: batched vs naive tail latency + kill/reconnect."""
+    return E.format_service(E.service_experiment())
+
+
 def _validate() -> str:
     return E.format_validation(E.validation_report())
 
@@ -316,6 +321,11 @@ EXPERIMENTS = {
         _chaos,
         "fault-injection chaos matrix: writer-crash recovery rate, "
         "corrupt-read degradation, worker-kill retry latency",
+    ),
+    "service": (
+        _service,
+        "compression-service load generator: batched vs naive p50/p99/p99.9, "
+        "coalescing + cache hit rates, kill/reconnect chaos",
     ),
     "validate": (_validate, "machine-checkable residuals vs the paper's numbers"),
     "lifecycle": (_lifecycle, "post-purge retrieval: refactoring-aware archive policy"),

@@ -26,6 +26,7 @@ from .kernels import (
     kernel_speedups,
 )
 from .scaling_exp import fig8_streams, fig9_weak_scaling, format_fig8, format_fig9
+from .service_exp import format_service, service_experiment
 from .showcases import (
     fig10_accuracy_demo,
     fig10_measured_pipeline,
@@ -60,6 +61,7 @@ __all__ = [
     "format_fig9",
     "format_kernel_table",
     "format_offload",
+    "format_service",
     "format_validation",
     "format_seconds",
     "format_table",
@@ -69,6 +71,7 @@ __all__ = [
     "kernel_speedup_table",
     "kernel_speedups",
     "offload_experiment",
+    "service_experiment",
     "table4_breakdown",
     "table5_end_to_end",
     "table6_node_level",

@@ -1,0 +1,482 @@
+"""Service experiment: measured tail latency of the network front-end.
+
+The serving layer's performance claims — request coalescing, decode
+caching, bounded backpressure — measured the way every other hot path
+in this repo is: as a structured record (``service_experiment``) with a
+paper-style text block (``format_service``).
+
+**Load generation** is open-loop: ``readers`` concurrent clients draw
+Poisson arrivals at a combined ``rate_hz`` and fire without waiting for
+earlier replies, while a live writer keeps appending steps through
+``put_step`` — the follower workload of the paper's
+producer→storage→consumer showcase.  Latency is measured from each
+request's *scheduled* arrival, so queueing delay is charged to the
+server (no coordinated omission).  The mix models real consumers:
+mostly the newest step (what followers want — and exactly what
+coalesces), some random back-catalog steps, regions, and progressive-
+precision levels.
+
+The same load runs against two server configurations:
+
+* **batched** — micro-batching on, decoded-step LRU on (the default);
+* **naive** — ``batching=False``, ``cache_bytes=0``: every request
+  decodes on its own.
+
+The record's ``speedup`` block is naive/batched per percentile; the
+benchmark gate (``bench_service --assert-speedup``) enforces ≥2x on
+p99 under concurrency.
+
+**Chaos case** — the server runs as a real subprocess, is SIGKILLed
+mid-stream, and restarted on the same port; a
+:class:`~repro.service.client.ServiceClient` must reconnect
+transparently, re-read pre-kill steps exactly, and resume ingest until
+reads converge on post-restart appends.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..io.stream import StepStreamWriter
+from ..service.client import AsyncServiceClient, ServiceClient
+from ..service.protocol import BusyError, RemoteError
+from ..service.server import CompressionService, ServiceConfig, serve
+
+__all__ = ["service_experiment", "format_service"]
+
+
+def _frames(shape, n, seed=0):
+    rng = np.random.default_rng(seed)
+    base = np.cumsum(rng.standard_normal(shape), axis=0)
+    drift = rng.standard_normal(shape) * 0.05
+    return [base + t * drift for t in range(n)]
+
+
+def _percentiles(samples_s: list[float]) -> dict:
+    if not samples_s:
+        return {"p50": None, "p99": None, "p999": None, "mean": None, "max": None}
+    ms = np.asarray(samples_s) * 1e3
+    p50, p99, p999 = np.percentile(ms, [50, 99, 99.9])
+    return {
+        "p50": float(p50),
+        "p99": float(p99),
+        "p999": float(p999),
+        "mean": float(ms.mean()),
+        "max": float(ms.max()),
+    }
+
+
+class _ServerThread:
+    """An in-process :class:`CompressionService` on its own event loop.
+
+    The load generator owns the main thread's loop; the server gets a
+    background one — requests still cross a real TCP socket, so framing,
+    scheduling, and zero-copy writes are all exercised for real.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._fail: BaseException | None = None
+        self.svc: CompressionService | None = None
+        self._thread = threading.Thread(
+            target=self._run, args=(config,), daemon=True, name="repro-service"
+        )
+        self._thread.start()
+        if not self._started.wait(30):
+            raise RuntimeError("service thread never came up")
+        if self._fail is not None:
+            raise self._fail
+
+    def _run(self, config: ServiceConfig) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self.svc = self._loop.run_until_complete(serve(config))
+        except BaseException as e:  # surface bind/config errors to the caller
+            self._fail = e
+            self._started.set()
+            return
+        self._started.set()
+        self._loop.run_forever()
+
+    @property
+    def port(self) -> int:
+        return self.svc.port
+
+    def stop(self) -> None:
+        async def _shutdown():
+            await self.svc.stop()
+            others = [
+                t for t in asyncio.all_tasks() if t is not asyncio.current_task()
+            ]
+            for t in others:
+                t.cancel()
+            await asyncio.gather(*others, return_exceptions=True)
+
+        asyncio.run_coroutine_threadsafe(_shutdown(), self._loop).result(15)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(15)
+        self.svc.close()
+
+
+async def _load(
+    port: int,
+    *,
+    readers: int,
+    duration_s: float,
+    rate_hz: float,
+    shape,
+    prepop: int,
+    extra_steps: int,
+    levels: int,
+    seed: int = 7,
+) -> dict:
+    """Open-loop load against a running server; returns raw counters."""
+    loop = asyncio.get_running_loop()
+    latencies: list[float] = []
+    sheds = errors = 0
+    latest = prepop - 1  # newest step the writer has confirmed
+
+    async def writer_task():
+        nonlocal latest
+        frames = _frames(shape, prepop + extra_steps, seed=1)
+        client = await AsyncServiceClient(port=port).connect()
+        try:
+            pause = duration_s / max(extra_steps, 1)
+            for i in range(extra_steps):
+                await asyncio.sleep(pause)
+                idx = await client.put_step(frames[prepop + i])
+                latest = max(latest, idx)
+        except (ConnectionError, RemoteError, BusyError):
+            pass  # the load's reads, not ingest, are under test here
+        finally:
+            await client.close()
+
+    async def one(client, kind, scheduled):
+        nonlocal sheds, errors
+        try:
+            if kind == "newest":
+                # wait= rides the server-side backoff follower path
+                await client.get_step(latest, wait=2.0)
+            elif kind == "old":
+                await client.get_step(int(rng.integers(prepop)))
+            elif kind == "region":
+                n0 = shape[0]
+                lo = int(rng.integers(max(n0 - 4, 1)))
+                await client.get_region(
+                    int(rng.integers(prepop)), [[lo, min(lo + 4, n0)]]
+                )
+            else:  # progressive level
+                await client.get_step(
+                    int(rng.integers(prepop)),
+                    level=int(rng.integers(1, levels + 1)),
+                )
+            latencies.append(loop.time() - scheduled)
+        except BusyError:
+            sheds += 1
+        except (ConnectionError, RemoteError):
+            errors += 1
+
+    rng = np.random.default_rng(seed)
+
+    async def reader_task(idx):
+        client = await AsyncServiceClient(port=port).connect()
+        pending: set[asyncio.Task] = set()
+        try:
+            period = readers / rate_hz  # per-reader mean inter-arrival
+            t0 = loop.time()
+            sched = t0
+            while True:
+                sched = sched + float(rng.exponential(period))
+                if sched - t0 > duration_s:
+                    break
+                now = loop.time()
+                if sched > now:
+                    await asyncio.sleep(sched - now)
+                r = rng.random()
+                kind = (
+                    "newest"
+                    if r < 0.6
+                    else "old"
+                    if r < 0.8
+                    else "region"
+                    if r < 0.9
+                    else "level"
+                )
+                t = asyncio.ensure_future(one(client, kind, sched))
+                pending.add(t)
+                t.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.wait(pending, timeout=10)
+        finally:
+            for t in pending:
+                t.cancel()
+            await client.close()
+
+    wt = asyncio.ensure_future(writer_task())
+    t_start = loop.time()
+    await asyncio.gather(*[reader_task(i) for i in range(readers)])
+    wall = loop.time() - t_start
+    wt.cancel()
+    try:
+        await wt
+    except (asyncio.CancelledError, Exception):
+        pass
+    async with AsyncServiceClient(port=port) as c:
+        server_stats = await c.stats()
+    return {
+        "latencies": latencies,
+        "sheds": sheds,
+        "errors": errors,
+        "wall_s": wall,
+        "server": server_stats,
+    }
+
+
+def _run_mode(
+    batched: bool, *, shape, prepop, readers, duration_s, rate_hz, extra_steps
+) -> dict:
+    """One full load run against a fresh server in the given mode."""
+    with tempfile.TemporaryDirectory() as d:
+        root = Path(d) / "stream"
+        writer = StepStreamWriter(root, shape)
+        for f in _frames(shape, prepop):
+            writer.append(f)
+        levels = len(writer._steps[0]["truncation_estimates"])
+        server = _ServerThread(
+            ServiceConfig(
+                root=root,
+                port=0,
+                batching=batched,
+                cache_bytes=(256 << 20) if batched else 0,
+            )
+        )
+        try:
+            raw = asyncio.run(
+                _load(
+                    server.port,
+                    readers=readers,
+                    duration_s=duration_s,
+                    rate_hz=rate_hz,
+                    shape=shape,
+                    prepop=prepop,
+                    extra_steps=extra_steps,
+                    levels=levels,
+                )
+            )
+        finally:
+            server.stop()
+    ok = len(raw["latencies"])
+    stats = raw["server"]
+    return {
+        "batched": batched,
+        "requests_ok": ok,
+        "sheds": raw["sheds"],
+        "errors": raw["errors"],
+        "wall_s": raw["wall_s"],
+        "throughput_rps": ok / raw["wall_s"] if raw["wall_s"] else 0.0,
+        "latency_ms": _percentiles(raw["latencies"]),
+        "coalesce_rate": stats["batcher"]["coalesce_rate"],
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "server_shed": stats["shed"],
+        "server_errors": stats["errors"],
+    }
+
+
+# ----------------------------------------------------------------------
+# chaos: SIGKILL the server subprocess mid-stream, reconnect, converge
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _spawn_server(root: Path, port: int) -> subprocess.Popen:
+    import repro
+
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.service.server",
+            str(root),
+            "--port",
+            str(port),
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def _wait_ready(port: int, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(port=port, reconnect=0, timeout=5) as c:
+                if c.ping():
+                    return
+        except OSError:
+            time.sleep(0.1)
+    raise RuntimeError(f"server on port {port} never became ready")
+
+
+def _chaos_case(shape) -> dict:
+    """Kill a live server subprocess; the client must reconnect and
+    converge (pre-kill steps exact, post-restart ingest resumes)."""
+    frames = _frames(shape, 6, seed=3)
+    with tempfile.TemporaryDirectory() as d:
+        root = Path(d) / "stream"
+        port = _free_port()
+        proc = _spawn_server(root, port)
+        try:
+            _wait_ready(port)
+            client = ServiceClient(
+                port=port, reconnect=60, reconnect_delay=0.05, timeout=15
+            )
+            for i in range(3):
+                client.put_step(frames[i], time=float(i))
+            pre_ok = bool(np.allclose(client.get_step(2), frames[2]))
+            proc.kill()
+            proc.wait()
+            t0 = time.perf_counter()
+            proc = _spawn_server(root, port)
+            # transparent reconnect: the next idempotent request blocks
+            # through the restart window, then must be served exactly
+            survived = bool(np.allclose(client.get_step(1), frames[1]))
+            reconnect_s = time.perf_counter() - t0
+            idxs = [client.put_step(frames[i], time=float(i)) for i in range(3, 6)]
+            converged = client.wait_step(idxs[-1], timeout=10) and bool(
+                np.allclose(client.get_step(idxs[-1]), frames[5])
+            )
+            n_after = client.info()["n_steps"]
+            reconnects = client.reconnects
+            client.close()
+            return {
+                "pre_kill_read_ok": pre_ok,
+                "read_after_kill_ok": survived,
+                "converged": bool(converged),
+                "reconnects": reconnects,
+                "reconnect_s": reconnect_s,
+                "steps_before_kill": 3,
+                "steps_after": n_after,
+            }
+        finally:
+            proc.kill()
+            proc.wait()
+
+
+# ----------------------------------------------------------------------
+
+
+def service_experiment(
+    *,
+    shape: tuple[int, ...] | None = None,
+    readers: int | None = None,
+    duration_s: float | None = None,
+    rate_hz: float | None = None,
+    chaos: bool = True,
+) -> dict:
+    """Run the full service load (both modes) + chaos; structured record."""
+    ci = os.environ.get("REPRO_BENCH_SCALE") == "ci"
+    if shape is None:
+        shape = (17, 16, 16) if ci else (33, 32, 32)
+    if readers is None:
+        readers = 8 if ci else 16
+    if duration_s is None:
+        duration_s = 1.5 if ci else 5.0
+    if rate_hz is None:
+        rate_hz = 150.0 if ci else 300.0
+    prepop = 4 if ci else 8
+    extra = 3 if ci else 6
+    kwargs = dict(
+        shape=shape,
+        prepop=prepop,
+        readers=readers,
+        duration_s=duration_s,
+        rate_hz=rate_hz,
+        extra_steps=extra,
+    )
+    batched = _run_mode(True, **kwargs)
+    naive = _run_mode(False, **kwargs)
+
+    def _ratio(p):
+        b, n = batched["latency_ms"][p], naive["latency_ms"][p]
+        return float(n / b) if b and n else None
+
+    rec = {
+        "config": {
+            "shape": list(shape),
+            "readers": readers,
+            "duration_s": duration_s,
+            "rate_hz": rate_hz,
+            "prepop_steps": prepop,
+            "live_steps": extra,
+            "cpu_count": os.cpu_count(),
+        },
+        "batched": batched,
+        "naive": naive,
+        "speedup": {
+            "p50_x": _ratio("p50"),
+            "p99_x": _ratio("p99"),
+            "p999_x": _ratio("p999"),
+            "throughput_x": (
+                batched["throughput_rps"] / naive["throughput_rps"]
+                if naive["throughput_rps"]
+                else None
+            ),
+        },
+    }
+    if chaos:
+        rec["chaos"] = _chaos_case((9, 8, 8) if ci else (17, 16, 16))
+    return rec
+
+
+def format_service(rec: dict) -> str:
+    """Text block for one :func:`service_experiment` record."""
+    cfg = rec["config"]
+    lines = [
+        f"service load on {tuple(cfg['shape'])}: {cfg['readers']} readers, "
+        f"{cfg['rate_hz']:.0f} req/s open-loop for {cfg['duration_s']:.1f}s "
+        f"(writer live, {cfg['cpu_count']} cpus):"
+    ]
+    for name in ("batched", "naive"):
+        m = rec[name]
+        lat = m["latency_ms"]
+        lines.append(
+            f"  {name:8s} {m['throughput_rps']:7.1f} req/s  "
+            f"p50 {lat['p50']:.2f} ms  p99 {lat['p99']:.2f} ms  "
+            f"p99.9 {lat['p999']:.2f} ms  "
+            f"(coalesce {m['coalesce_rate']:.0%}, cache {m['cache_hit_rate']:.0%}, "
+            f"shed {m['sheds']}, errors {m['errors']})"
+        )
+    sp = rec["speedup"]
+    lines.append(
+        f"  speedup (naive/batched): p50 {sp['p50_x']:.1f}x  "
+        f"p99 {sp['p99_x']:.1f}x  p99.9 {sp['p999_x']:.1f}x"
+    )
+    ch = rec.get("chaos")
+    if ch:
+        flag = "ok " if ch["read_after_kill_ok"] and ch["converged"] else "FAIL"
+        lines.append(
+            f"  chaos [{flag}] SIGKILL mid-stream: reconnected in "
+            f"{ch['reconnect_s']:.2f}s ({ch['reconnects']} attempts), "
+            f"pre-kill reads exact {ch['read_after_kill_ok']}, "
+            f"converged on {ch['steps_after']} steps"
+        )
+    return "\n".join(lines)

@@ -56,6 +56,8 @@ import io
 import itertools
 import json
 import os
+import threading
+import time
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 
@@ -69,6 +71,7 @@ from ..core.classes import CoefficientClasses, reconstruct_from_classes
 from ..core.grid import TensorHierarchy, hierarchy_for
 from ..core.refactor import Refactorer
 from ..core.snorm import truncation_estimate
+from ..service.cache import LRUCache
 from .container import (
     RefactoredFileReader,
     ShardedFileReader,
@@ -626,9 +629,28 @@ class StepStreamWriter:
 
 
 class StepStreamReader:
-    """Consumer side: read steps (or prefixes of them) from a stream."""
+    """Consumer side: read steps (or prefixes of them) from a stream.
 
-    def __init__(self, root: str | Path):
+    ``cache_steps`` bounds a decoded-step LRU cache (entries; ``0``
+    disables it): repeated random access into a compressed stream no
+    longer re-rolls the key-frame chain for steps decoded recently.
+    Entries are keyed by ``(step, generation)`` where :attr:`generation`
+    bumps — invalidating every cached decode — whenever
+    :meth:`refresh` adopts a manifest whose already-known entries
+    *changed* (a rewritten stream).  Plain appends from a live producer
+    keep the generation: committed steps are immutable, so their cached
+    decodes stay valid while a follower polls.  Only clean, exact reads
+    are cached (never degraded/recovered ones, so a repaired file still
+    heals on retry).
+
+    The reader is **thread-safe**: :meth:`read_step`,
+    :meth:`read_region`, :meth:`read`, :meth:`read_full`, and
+    :meth:`refresh` serialize on an internal lock (the compressed-mode
+    chain replay is stateful), so concurrent callers — a server's
+    decode pool, follower threads — compose without torn chain state.
+    """
+
+    def __init__(self, root: str | Path, *, cache_steps: int = 4):
         self.root = Path(root)
         path = self.root / _MANIFEST
         if not path.exists():
@@ -651,6 +673,15 @@ class StepStreamReader:
         self._prev: np.ndarray | None = None
         self._scratch: dict = {}
         self._refresh_failures = 0
+        self._lock = threading.RLock()
+        #: bumped when refresh() adopts a manifest whose known entries
+        #: changed; part of every step-cache key
+        self.generation = 0
+        if cache_steps < 0:
+            raise ValueError(f"cache_steps must be >= 0, got {cache_steps}")
+        self._step_cache = LRUCache(
+            max_bytes=(1 << 62) if cache_steps else 0, max_entries=cache_steps
+        )
         #: steps whose files failed CRC/parse checks, step -> reason.
         #: Quarantined steps are skipped by chain recovery (a delta
         #: chain cannot cross them) but retried on direct access, so a
@@ -664,6 +695,59 @@ class StepStreamReader:
         return len(self.steps)
 
     def refresh(self) -> int:
+        """Re-read the manifest to pick up steps appended since open.
+
+        Thread-safe; see :meth:`_refresh_impl` for the full contract.
+        """
+        with self._lock:
+            return self._refresh_impl()
+
+    def wait_for_step(
+        self,
+        step: int,
+        *,
+        timeout: float | None = None,
+        poll_interval: float = 0.005,
+        max_interval: float = 0.25,
+        backoff: float = 2.0,
+    ) -> bool:
+        """Block until the stream lists a step ``> step``-indexed (i.e.
+        ``n_steps > step``), refreshing with exponential backoff.
+
+        The follower primitive: instead of busy-polling ``refresh()`` in
+        a tight loop, the poll interval starts at ``poll_interval`` and
+        doubles (``backoff``) up to ``max_interval`` while the producer
+        is quiet, so an idle follower costs microseconds of CPU per
+        second instead of a core.  Returns ``True`` as soon as the step
+        is visible, ``False`` on ``timeout`` (``None`` waits forever).
+        A dead stream still surfaces as :class:`StreamError` through
+        ``refresh``'s torn-manifest cap.
+        """
+        if poll_interval <= 0 or max_interval <= 0 or backoff < 1:
+            raise ValueError(
+                "need poll_interval > 0, max_interval > 0, backoff >= 1"
+            )
+        deadline = None if timeout is None else time.monotonic() + timeout
+        interval = poll_interval
+        while True:
+            if self.n_steps > step:
+                return True
+            self.refresh()
+            if self.n_steps > step:
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            pause = interval
+            if deadline is not None:
+                pause = min(pause, max(deadline - time.monotonic(), 0.0))
+            time.sleep(pause)
+            interval = min(interval * backoff, max_interval)
+
+    def cache_info(self) -> dict:
+        """Decoded-step cache counters (hits/misses/evictions/bytes)."""
+        return self._step_cache.stats()
+
+    def _refresh_impl(self) -> int:
         """Re-read the manifest to pick up steps appended since open.
 
         The producer replaces the manifest atomically, so on POSIX a
@@ -731,6 +815,17 @@ class StepStreamReader:
                 )
             return len(self.steps)
         self._refresh_failures = 0
+        if steps[: len(self.steps)] != self.steps:
+            # an entry this reader already described changed — the
+            # stream was rewritten underneath us, so every cached
+            # decode (keyed by the old generation) is now unreachable,
+            # and the chain-replay state (_pos/_prev) describes fields
+            # that no longer exist.  Plain appends keep the generation:
+            # committed steps are immutable, and nuking the cache on
+            # every follower poll would defeat its purpose.
+            self.generation += 1
+            self._step_cache.clear()
+            self._reset_chain()
         self.steps = steps
         return len(self.steps)
 
@@ -742,7 +837,8 @@ class StepStreamReader:
                 f"this one is {self.stream_mode!r}"
                 f"{' (sharded — use read_region)' if self.shard_bounds else ''}"
             )
-        meta = self._meta(step)
+        with self._lock:
+            meta = self._meta(step)
         for k, est in enumerate(meta["truncation_estimates"], start=1):
             if est <= tol:
                 return k
@@ -763,7 +859,8 @@ class StepStreamReader:
             )
         if (k is None) == (tol is None):
             raise ValueError("pass exactly one of k or tol")
-        meta = self._meta(step)
+        with self._lock:
+            meta = self._meta(step)
         if tol is not None:
             k = self.classes_needed(step, tol)
         reader = RefactoredFileReader(self.root / meta["file"])
@@ -779,7 +876,8 @@ class StepStreamReader:
                 f"is {self.stream_mode!r}"
                 f"{' (sharded — use read_region)' if self.shard_bounds else ''}"
             )
-        meta = self._meta(step)
+        with self._lock:
+            meta = self._meta(step)
         return RefactoredFileReader(self.root / meta["file"]).to_coefficient_classes(
             self.hier
         )
@@ -788,6 +886,11 @@ class StepStreamReader:
     # sharded-mode region decode
 
     def read_region(self, step: int, region=None, on_error: str = "recover") -> np.ndarray:
+        """Reconstruct a sub-volume of one step (thread-safe wrapper)."""
+        with self._lock:
+            return self._read_region_impl(step, region, on_error)
+
+    def _read_region_impl(self, step: int, region=None, on_error: str = "recover") -> np.ndarray:
         """Reconstruct a sub-volume of one step, decoding only its shards.
 
         ``region`` is a tuple of slices into the full step grid (fewer
@@ -906,6 +1009,30 @@ class StepStreamReader:
     # compressed-mode decode
 
     def read_step(self, step: int, on_error: str = "recover") -> np.ndarray:
+        """Reconstruct one full step (cached; see :meth:`_read_step_impl`).
+
+        Clean decodes land in the reader's decoded-step LRU keyed by
+        ``(step, generation)``, so repeated random access stops
+        re-rolling the key-frame chain; a hit costs one ``memcpy``.
+        Degraded (recovered) reads are never cached — a repaired file
+        heals on the next direct access, exactly as without the cache.
+        """
+        if on_error not in ("recover", "raise"):
+            raise ValueError(f"on_error must be 'recover' or 'raise', got {on_error!r}")
+        with self._lock:
+            key = (step, self.generation)
+            cached = self._step_cache.get(key)
+            if cached is not None:
+                self.last_recovery = None
+                return cached.copy()
+            out = self._read_step_impl(step, on_error)
+            if self.last_recovery is None:
+                snap = out.copy()
+                snap.setflags(write=False)
+                self._step_cache.put(key, snap)
+            return out
+
+    def _read_step_impl(self, step: int, on_error: str = "recover") -> np.ndarray:
         """Reconstruct one full step of a compressed or sharded stream.
 
         Compressed streams honour ``tol``; sequential reads cost one

@@ -37,7 +37,7 @@ from ..gpu.analytic import model_pass
 from ..gpu.device import CpuSpec, DeviceSpec, POWER9_CORE, V100
 from .container import RefactoredFileReader, write_refactored
 from .storage import ALPINE_PFS, StorageTier
-from .stream import StepStreamWriter
+from .stream import StepStreamReader, StepStreamWriter
 
 __all__ = [
     "WorkflowPoint",
@@ -46,7 +46,45 @@ __all__ = [
     "DemoResult",
     "MeasuredPipeline",
     "run_streaming_pipeline",
+    "follow_stream",
 ]
+
+
+def follow_stream(
+    root: str | Path,
+    *,
+    start: int = 0,
+    stop: int | None = None,
+    timeout: float | None = 30.0,
+    poll_interval: float = 0.005,
+    max_interval: float = 0.25,
+):
+    """Tail a live stream, yielding ``(step, field)`` as steps commit.
+
+    The consumer half of the streaming workflow: a producer appends
+    through :class:`~repro.io.stream.StepStreamWriter` (or
+    :func:`run_streaming_pipeline`, or the service's ``put_step``)
+    while any number of followers iterate this generator — in-situ
+    visualization's read side as a three-line loop.  Waiting uses
+    :meth:`StepStreamReader.wait_for_step`'s exponential backoff
+    (``poll_interval`` → ``max_interval``), not a busy ``refresh()``
+    loop, so an idle follower costs microseconds of CPU per second.
+
+    Iteration ends at ``stop`` (exclusive; ``None`` follows forever)
+    or when no new step appears within ``timeout`` seconds.
+    """
+    reader = StepStreamReader(root)
+    step = start
+    while stop is None or step < stop:
+        if not reader.wait_for_step(
+            step,
+            timeout=timeout,
+            poll_interval=poll_interval,
+            max_interval=max_interval,
+        ):
+            return
+        yield step, reader.read_region(step)
+        step += 1
 
 
 @dataclass

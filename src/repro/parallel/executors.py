@@ -80,6 +80,21 @@ class SerialExecutor:
     def map(self, fn, *iterables) -> list:
         return [fn(*args) for args in zip(*iterables)]
 
+    def submit(self, fn, *args) -> concurrent.futures.Future:
+        """Run ``fn`` inline; returns an already-resolved future.
+
+        Interface symmetry with the pooled backends so async callers
+        (the service's decode offload wraps ``submit`` futures with
+        ``asyncio.wrap_future``) can take any executor — under the
+        serial backend the work simply runs on the calling thread.
+        """
+        fut: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            fut.set_result(fn(*args))
+        except BaseException as e:  # noqa: BLE001 - mirrored to the future
+            fut.set_exception(e)
+        return fut
+
     def prime(self) -> None:
         """No pool to warm; kept for interface symmetry."""
 
@@ -116,6 +131,15 @@ class ThreadExecutor:
 
     def map(self, fn, *iterables) -> list:
         return list(self._ensure_pool().map(fn, *iterables))
+
+    def submit(self, fn, *args) -> concurrent.futures.Future:
+        """Schedule one call on the pool; returns its future.
+
+        The service's event loop offloads blocking decodes here
+        (``asyncio.wrap_future(executor.submit(...))``), keeping the
+        loop responsive while NumPy-heavy work runs GIL-released.
+        """
+        return self._ensure_pool().submit(fn, *args)
 
     def prime(self) -> None:
         """Create the pool now instead of lazily on first ``map``."""
@@ -283,6 +307,18 @@ class ProcessExecutor:
                 # pure, so rerun inline — a genuine RuntimeError from fn
                 # re-raises here
                 return [fn(*args) for args in jobs]
+
+    def submit(self, fn, *args) -> concurrent.futures.Future:
+        """Schedule one call on the pool (inline future when ``fn``
+        cannot cross a process boundary — same degradation as ``map``)."""
+        if not _picklable(fn):
+            fut: concurrent.futures.Future = concurrent.futures.Future()
+            try:
+                fut.set_result(fn(*args))
+            except BaseException as e:  # noqa: BLE001 - mirrored to the future
+                fut.set_exception(e)
+            return fut
+        return self._ensure_pool().submit(fn, *args)
 
     def prime(self) -> None:
         """Fork/spawn the worker pool *now*.
