@@ -1,41 +1,201 @@
-"""Fig. 9: weak-scaling aggregate throughput to 4096 GPUs.
+#!/usr/bin/env python
+"""Fig. 9 weak scaling: measured SPMD fabrics next to the analytic model.
 
-Functional part: runs the real SPMD substrate (thread ranks refactoring
-independent partitions) at small rank counts.  Modeled part: the full
-Fig. 9 curves at 1 GB per GPU.
+Each rank refactors (decompose + recompose) its own fixed-size
+partition — the paper's per-GPU independent-partition workload — so
+total work grows with the rank count while per-rank work stays
+constant.  The sweep runs the same rank function on both fabrics:
+
+* ``thread`` — the deterministic reference; Python-level refactor
+  loops serialize on the GIL, so aggregate throughput plateaus;
+* ``process`` — forked OS ranks over the UNIX-socket + shared-memory
+  fabric; aggregate throughput scales with cores.
+
+Results land in ``benchmarks/results/BENCH_weak_scaling.json`` with
+``cpu_count`` stamped (a 1-core host honestly records ~1x); the
+analytic 4096-GPU model (``fig9_weak_scaling``) is regenerated next to
+the measurements, preserving ``results/fig9_weak_scaling.txt``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_fig9_weak_scaling.py
+
+``REPRO_BENCH_SCALE=ci`` (or ``--smoke``) shrinks partitions and the
+rank sweep.  ``--fabric process --ranks 8 --assert-speedup`` is the CI
+gate: it fails (exit 1) unless the process fabric clears 2x aggregate
+refactor throughput over the thread fabric at 8 ranks on a >= 4-core
+host (relaxed to 1.2x on 2-3 cores, skipped with a notice on 1).
 """
 
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
 import numpy as np
-import pytest
 
-from repro.cluster.simmpi import run_spmd
-from repro.core.refactor import Refactorer
+from repro.cluster import last_run_report, run_spmd
 from repro.experiments import fig9_weak_scaling, format_fig9
+from repro.parallel import available_workers
+
+RESULTS = Path(__file__).parent / "results"
+
+CI_SCALE = os.environ.get("REPRO_BENCH_SCALE") == "ci"
 
 
-@pytest.mark.parametrize("n_ranks", [1, 4])
-def test_spmd_refactoring(benchmark, n_ranks, rng):
-    data = rng.standard_normal((n_ranks * 65, 65))
+def _rank_refactor(comm, side: int, iters: int):
+    """Refactor one per-rank partition; returns (max error, busy seconds)."""
+    from repro.core.refactor import Refactorer
 
-    def job():
-        def worker(comm):
-            chunk = comm.scatter(
-                [data[i * 65 : (i + 1) * 65] for i in range(comm.size)]
-                if comm.rank == 0
-                else None
+    rng = np.random.default_rng(1000 + comm.rank)
+    chunk = rng.standard_normal((side, side))
+    r = Refactorer(chunk.shape)
+    comm.barrier()  # no rank starts until every rank is set up
+    t0 = time.perf_counter()
+    err = 0.0
+    for _ in range(iters):
+        err = max(err, float(np.abs(r.recompose(r.decompose(chunk)) - chunk).max()))
+    busy = time.perf_counter() - t0
+    # one collective over the result keeps the run honest end-to-end
+    return comm.allreduce(err, op=max), busy
+
+
+def measure_point(fabric: str, n_ranks: int, side: int, iters: int, repeats: int) -> dict:
+    """Best-of-``repeats`` weak-scaling point for one (fabric, n_ranks)."""
+    per_rank_bytes = side * side * 8 * iters
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        results = run_spmd(
+            _rank_refactor, n_ranks, side, iters, fabric=fabric, recv_timeout=120.0
+        )
+        wall = time.perf_counter() - t0
+        errs = [e for e, _ in results]
+        assert max(errs) < 1e-9, f"refactor round-trip broke: {max(errs)}"
+        point = {
+            "fabric": fabric,
+            "n_ranks": n_ranks,
+            "wall_s": wall,
+            "spmd_wall_s": last_run_report().wall_s,
+            "rank_busy_s": max(b for _, b in results),
+            "aggregate_bytes_per_s": n_ranks * per_rank_bytes / wall,
+        }
+        if best is None or point["wall_s"] < best["wall_s"]:
+            best = point
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(RESULTS / "BENCH_weak_scaling.json"))
+    parser.add_argument(
+        "--fabric",
+        choices=("both", "process", "thread"),
+        default="both",
+        help="measured fabric(s); 'process' still measures the thread "
+        "baseline at each rank count for the speedup ratio",
+    )
+    parser.add_argument(
+        "--ranks",
+        default=None,
+        help="comma-separated rank counts (default 8,16,32,64; ci/smoke 4,8)",
+    )
+    parser.add_argument("--smoke", action="store_true", help="tiny run (CI smoke)")
+    parser.add_argument(
+        "--assert-speedup",
+        nargs="?",
+        const=2.0,
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="exit 1 unless process/thread aggregate throughput at the "
+        "smallest rank count clears FACTOR (default 2.0 on >=4 cores, "
+        "1.2 on 2-3, skipped on 1)",
+    )
+    args = parser.parse_args(argv)
+    small = CI_SCALE or args.smoke
+
+    if args.ranks is not None:
+        rank_counts = [int(r) for r in str(args.ranks).split(",") if r]
+    else:
+        rank_counts = [4, 8] if small else [8, 16, 32, 64]
+    side = 65 if small else 129
+    iters = 2 if small else 4
+    repeats = 1 if small else 2
+    cpu_count = available_workers()
+
+    fabrics = ["thread", "process"] if args.fabric in ("both", "process") else ["thread"]
+    if args.fabric == "process" and args.assert_speedup is None:
+        fabrics = ["thread", "process"]  # baseline needed either way
+
+    measured = []
+    for n in rank_counts:
+        for fabric in fabrics:
+            point = measure_point(fabric, n, side, iters, repeats)
+            measured.append(point)
+            print(
+                f"  {fabric:8s} {n:3d} ranks: wall {point['wall_s'] * 1e3:8.1f} ms  "
+                f"aggregate {point['aggregate_bytes_per_s'] / 1e6:8.1f} MB/s"
             )
-            r = Refactorer(chunk.shape)
-            return float(np.abs(r.recompose(r.decompose(chunk)) - chunk).max())
 
-        return run_spmd(worker, n_ranks)
+    speedups = {}
+    if {"thread", "process"} <= set(fabrics):
+        for n in rank_counts:
+            t = next(p for p in measured if p["fabric"] == "thread" and p["n_ranks"] == n)
+            p = next(p for p in measured if p["fabric"] == "process" and p["n_ranks"] == n)
+            speedups[str(n)] = p["aggregate_bytes_per_s"] / t["aggregate_bytes_per_s"]
+            print(f"  process/thread at {n:3d} ranks: {speedups[str(n)]:.2f}x")
 
-    errors = benchmark(job)
-    assert max(errors) < 1e-9
+    # the analytic model at paper scale, regenerated next to the numbers
+    curves = fig9_weak_scaling()
+    fig9_text = format_fig9(curves)
+    RESULTS.mkdir(parents=True, exist_ok=True)
+    (RESULTS / "fig9_weak_scaling.txt").write_text(fig9_text + "\n")
+
+    report = {
+        "benchmark": "weak_scaling",
+        "scale": "ci" if small else "full",
+        "cpu_count": cpu_count,
+        "per_rank_shape": [side, side],
+        "iters_per_rank": iters,
+        "rank_counts": rank_counts,
+        "measured": measured,
+        "process_over_thread_speedup": speedups,
+        "model_4096_gpus_tbps": {
+            name: points[-1].aggregate_tbps for name, points in curves.items()
+        },
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"[written to {out}]")
+
+    if args.assert_speedup is not None:
+        if cpu_count < 2:
+            print(
+                f"speedup gate skipped: host has {cpu_count} core(s); the "
+                "process fabric cannot beat the thread fabric without "
+                "parallel hardware (cpu_count is recorded in the JSON)"
+            )
+            return 0
+        factor = args.assert_speedup if cpu_count >= 4 else min(args.assert_speedup, 1.2)
+        n0 = str(min(rank_counts))
+        got = speedups.get(n0, 0.0)
+        if got < factor:
+            print(
+                f"process-fabric aggregate throughput {got:.2f}x thread at "
+                f"{n0} ranks, below the {factor}x bar "
+                f"(host has {cpu_count} cores)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"speedup gate passed: {got:.2f}x >= {factor}x at {n0} ranks")
+    return 0
 
 
-def test_fig9(benchmark, report):
-    curves = benchmark(fig9_weak_scaling)
-    report("fig9_weak_scaling", format_fig9(curves))
-    # paper: 45.42 TB/s (2D dec), 17.78 TB/s (3D dec) at 4096 GPUs
-    assert 30 < curves["2D/decompose"][-1].aggregate_tbps < 70
-    assert 12 < curves["3D/decompose"][-1].aggregate_tbps < 35
+if __name__ == "__main__":
+    sys.exit(main())

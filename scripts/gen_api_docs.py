@@ -8,7 +8,7 @@ import pathlib
 
 MODULES = [
     "repro", "repro.core", "repro.kernels", "repro.kernels.launcher",
-    "repro.gpu", "repro.cluster",
+    "repro.gpu", "repro.cluster", "repro.cluster.fabric",
     "repro.compress", "repro.parallel", "repro.io", "repro.io.scrub",
     "repro.service",
     "repro.faults", "repro.workloads", "repro.analysis", "repro.experiments",

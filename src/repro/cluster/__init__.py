@@ -1,5 +1,16 @@
-"""Cluster substrate: simulated MPI, node models, weak-scaling model."""
+"""Cluster substrate: SPMD fabrics, node models, weak-scaling model."""
 
+from .fabric import (
+    ProcessComm,
+    RemoteRankError,
+    SimComm,
+    SpmdError,
+    SpmdRunReport,
+    SpmdTimeout,
+    ThreadComm,
+    last_run_report,
+    run_spmd,
+)
 from .pipeline import PipelineModel, workflow_pipeline
 from .partition import BlockPlan, BlockRefactorer, plan_blocks
 from .sharded import (
@@ -8,6 +19,7 @@ from .sharded import (
     ShardedFrame,
     decode_shard,
     encode_shards,
+    encode_shards_spmd,
     plan_shards,
     shard_tolerance,
 )
@@ -18,7 +30,6 @@ from .scaling import (
     shape_for_bytes_3d,
     weak_scaling,
 )
-from .simmpi import SimComm, SpmdError, run_spmd
 
 __all__ = [
     "BlockPlan",
@@ -26,15 +37,22 @@ __all__ = [
     "DESKTOP",
     "NodeSpec",
     "PipelineModel",
+    "ProcessComm",
+    "RemoteRankError",
     "SUMMIT_NODE",
     "ShardCodec",
     "ShardedCompressor",
     "ShardedFrame",
     "SimComm",
     "SpmdError",
+    "SpmdRunReport",
+    "SpmdTimeout",
+    "ThreadComm",
     "WeakScalingPoint",
     "decode_shard",
     "encode_shards",
+    "encode_shards_spmd",
+    "last_run_report",
     "node_speedup",
     "partition_shape",
     "plan_blocks",

@@ -1,0 +1,959 @@
+"""SPMD fabrics: thread-based reference and process-backed transport.
+
+The paper parallelizes refactoring by giving each of up to 4096 MPI
+ranks an equal partition and running independently.  This module
+provides two interchangeable implementations of the same mpi4py-style
+communicator surface — point-to-point ``send``/``recv`` plus the
+collectives (``bcast``, ``scatter``, ``gather``, ``allgather``,
+``reduce``, ``allreduce``, ``barrier``) — selected by
+``run_spmd(fn, n, fabric=...)``:
+
+``thread`` (the deterministic reference)
+    Ranks are daemon threads over per-edge FIFO queues in one address
+    space.  Deterministic and cheap, but the GIL serializes Python-side
+    work, so "parallel" ranks measure no speedup.
+
+``process`` (the measured fabric)
+    Ranks are forked OS processes.  The **control plane** is a mesh of
+    UNIX-domain stream sockets (one listener per rank, lazily-connected
+    outgoing edges, length-prefixed frames); small messages travel as
+    pickles.  The **data plane** is zero-copy for large local-rank
+    ndarrays: a send whose payload is an ndarray of at least
+    ``shm_threshold`` bytes stages the array once in a
+    ``multiprocessing.shared_memory`` segment (through
+    :mod:`repro.parallel.shm`) and ships only a tiny descriptor —
+    payload bytes never traverse the socket or the pickler.  Ownership
+    transfers with the message: the receiver copies out and unlinks.
+    Anything that is not a large ndarray (or when shared memory is
+    unavailable) falls back to pickle, so arbitrary objects still work.
+
+Both fabrics run the *same* collective algorithms over send/recv (rank
+order gathers, left-fold reductions), so every collective produces
+bit-identical results across fabrics.  Rank failures surface on the
+host as :class:`SpmdError` carrying per-rank exceptions *and* formatted
+tracebacks; receive timeouts raise :class:`SpmdTimeout` naming
+(src, dst, tag, waited_s) in either fabric.
+
+Failure containment on the process fabric: a rank that dies abnormally
+(e.g. a ``kill@spmd.rank.shm`` fault firing ``os._exit`` inside the
+staging window) is detected through its result pipe; peers blocked on
+it time out with :class:`SpmdTimeout`; and the host finalizer sweeps
+every shared-memory segment the run created — names carry a per-run
+prefix, so segments orphaned by a dead sender or an unreceived message
+are unlinked, never leaked.  :func:`last_run_report` exposes the sweep
+and per-rank transport stats of the most recent run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import socket
+import struct
+import tempfile
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from .. import faults
+from ..parallel.shm import ShmUnavailable, share_array, unlink_segment
+
+__all__ = [
+    "BaseComm",
+    "ThreadComm",
+    "ProcessComm",
+    "SimComm",
+    "SpmdError",
+    "SpmdTimeout",
+    "RemoteRankError",
+    "SpmdRunReport",
+    "last_run_report",
+    "run_spmd",
+    "DEFAULT_RECV_TIMEOUT",
+    "DEFAULT_SHM_THRESHOLD",
+]
+
+#: default blocking-receive timeout (seconds); the ``recv_timeout``
+#: knob on :func:`run_spmd` overrides it per run
+DEFAULT_RECV_TIMEOUT = 30.0
+
+#: ndarray payloads at least this large ride the shared-memory data
+#: plane on the process fabric (``REPRO_SPMD_SHM_THRESHOLD`` overrides)
+DEFAULT_SHM_THRESHOLD = 64 * 1024
+
+_ENV_FABRIC = "REPRO_SPMD_FABRIC"
+_ENV_SHM_THRESHOLD = "REPRO_SPMD_SHM_THRESHOLD"
+
+#: reserved collective tags (user tags are >= 0)
+_TAG_BCAST = -1
+_TAG_SCATTER = -2
+_TAG_GATHER = -3
+_TAG_BARRIER = -4
+
+
+class SpmdError(RuntimeError):
+    """Raised on the host when one or more ranks failed.
+
+    ``failures`` maps rank → exception (the live exception object on
+    the thread fabric, a :class:`RemoteRankError` on the process
+    fabric); ``tracebacks`` maps rank → formatted traceback text when
+    one was captured.  Constructing with a plain string produces a
+    generic fabric error with empty maps.
+    """
+
+    def __init__(self, failures, tracebacks: dict[int, str] | None = None):
+        if isinstance(failures, str):
+            self.failures: dict[int, BaseException] = {}
+            self.tracebacks: dict[int, str] = {}
+            super().__init__(failures)
+            return
+        self.failures = dict(failures)
+        self.tracebacks = dict(tracebacks or {})
+        detail = "; ".join(
+            f"rank {r}: {e!r}" for r, e in sorted(self.failures.items())
+        )
+        super().__init__(f"{len(self.failures)} rank(s) failed: {detail}")
+
+
+class SpmdTimeout(SpmdError):
+    """A blocking receive expired: nothing arrived from ``src``.
+
+    Carries the full context a deadlock post-mortem needs: the waiting
+    rank (``dst``), the expected sender (``src``), the message ``tag``,
+    and how long the receiver waited (``waited_s``).
+    """
+
+    def __init__(self, *, src: int, dst: int, tag: int, waited_s: float):
+        self.src = int(src)
+        self.dst = int(dst)
+        self.tag = int(tag)
+        self.waited_s = float(waited_s)
+        RuntimeError.__init__(
+            self,
+            f"rank {self.dst} timed out receiving from rank {self.src} "
+            f"(tag {self.tag}) after {self.waited_s:.2f}s",
+        )
+        self.failures = {}
+        self.tracebacks = {}
+
+
+class RemoteRankError(RuntimeError):
+    """Host-side stand-in for an exception raised in a rank process.
+
+    The original exception object cannot always cross the process
+    boundary, so the host re-raises its ``repr`` with the remote
+    traceback attached (``.traceback``, also in
+    :attr:`SpmdError.tracebacks`).
+    """
+
+    def __init__(self, message: str, rank: int, tb: str | None = None):
+        super().__init__(message)
+        self.rank = int(rank)
+        self.traceback = tb
+
+
+# ----------------------------------------------------------------------
+# communicator surface shared by both fabrics
+
+
+class BaseComm:
+    """Collectives over point-to-point, identical across fabrics.
+
+    Subclasses provide ``send``/``recv`` (and may override ``barrier``);
+    every collective here runs the same deterministic algorithm — rank
+    order gathers, left-fold reductions — so results are bit-identical
+    regardless of the transport underneath.
+    """
+
+    #: default point-to-point tag, mirroring MPI's ANY-tag-free style
+    DEFAULT_TAG = 0
+
+    rank: int
+
+    @property
+    def size(self) -> int:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def send(self, obj: Any, dest: int, tag: int = DEFAULT_TAG) -> None:
+        raise NotImplementedError
+
+    def recv(self, source: int, tag: int = DEFAULT_TAG, timeout: float | None = None) -> Any:
+        raise NotImplementedError
+
+    def transport_stats(self) -> dict:
+        """Counters of how payloads travelled (shm vs pickle vs inline)."""
+        return {"shm_sends": 0, "pickle_sends": 0, "shm_recvs": 0, "inline_sends": 0}
+
+    # -- collectives ------------------------------------------------------
+    def barrier(self) -> None:
+        """Release no rank until every rank arrived (gather + release)."""
+        if self.rank == 0:
+            for r in range(1, self.size):
+                self.recv(r, tag=_TAG_BARRIER)
+            for r in range(1, self.size):
+                self.send(None, r, tag=_TAG_BARRIER)
+        else:
+            self.send(None, 0, tag=_TAG_BARRIER)
+            self.recv(0, tag=_TAG_BARRIER)
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if self.rank == root:
+            for r in range(self.size):
+                if r != root:
+                    self.send(obj, r, tag=_TAG_BCAST)
+            return obj
+        return self.recv(root, tag=_TAG_BCAST)
+
+    def scatter(self, chunks: list | None, root: int = 0) -> Any:
+        if self.rank == root:
+            if chunks is None or len(chunks) != self.size:
+                raise ValueError(f"root must pass exactly {self.size} chunks")
+            for r in range(self.size):
+                if r != root:
+                    self.send(chunks[r], r, tag=_TAG_SCATTER)
+            return chunks[root]
+        return self.recv(root, tag=_TAG_SCATTER)
+
+    def gather(self, obj: Any, root: int = 0) -> list | None:
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for r in range(self.size):
+                if r != root:
+                    out[r] = self.recv(r, tag=_TAG_GATHER)
+            return out
+        self.send(obj, root, tag=_TAG_GATHER)
+        return None
+
+    def allgather(self, obj: Any) -> list:
+        gathered = self.gather(obj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None, root: int = 0):
+        op = op if op is not None else (lambda a, b: a + b)
+        gathered = self.gather(obj, root=root)
+        if self.rank != root:
+            return None
+        acc = gathered[0]
+        for item in gathered[1:]:
+            acc = op(acc, item)
+        return acc
+
+    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None):
+        return self.bcast(self.reduce(obj, op=op, root=0), root=0)
+
+    # ----------------------------------------------------------------------
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.size:
+            raise ValueError(f"rank {r} out of range [0, {self.size})")
+
+
+# ----------------------------------------------------------------------
+# thread fabric (the deterministic reference)
+
+
+class _ThreadFabric:
+    """Shared state of one thread communicator: mailboxes + a barrier."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self._queues: dict[tuple[int, int, int], queue.Queue] = {}
+        self._lock = threading.Lock()
+        self.barrier = threading.Barrier(size)
+
+    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
+        key = (src, dst, tag)
+        with self._lock:
+            q = self._queues.get(key)
+            if q is None:
+                q = self._queues[key] = queue.Queue()
+            return q
+
+
+class ThreadComm(BaseComm):
+    """Communicator handle of one thread rank (the historical SimComm)."""
+
+    def __init__(self, rank: int, fabric: _ThreadFabric, default_timeout: float = DEFAULT_RECV_TIMEOUT):
+        self.rank = rank
+        self._fabric = fabric
+        self._default_timeout = float(default_timeout)
+        self._sends = 0
+
+    @property
+    def size(self) -> int:
+        return self._fabric.size
+
+    def send(self, obj: Any, dest: int, tag: int = BaseComm.DEFAULT_TAG) -> None:
+        """Send a Python object (arrays are shipped by copy, like a wire)."""
+        self._check_rank(dest)
+        if isinstance(obj, np.ndarray):
+            obj = obj.copy()
+        self._sends += 1
+        self._fabric.mailbox(self.rank, dest, tag).put(obj)
+
+    def recv(self, source: int, tag: int = BaseComm.DEFAULT_TAG, timeout: float | None = None) -> Any:
+        """Blocking receive from ``source``."""
+        self._check_rank(source)
+        waited = self._default_timeout if timeout is None else float(timeout)
+        try:
+            return self._fabric.mailbox(source, self.rank, tag).get(timeout=waited)
+        except queue.Empty as e:
+            raise SpmdTimeout(src=source, dst=self.rank, tag=tag, waited_s=waited) from e
+
+    def barrier(self) -> None:
+        self._fabric.barrier.wait()
+
+    def transport_stats(self) -> dict:
+        return {"shm_sends": 0, "pickle_sends": 0, "shm_recvs": 0, "inline_sends": self._sends}
+
+
+#: historical name of the thread communicator (public API since PR 0)
+SimComm = ThreadComm
+
+
+# ----------------------------------------------------------------------
+# process fabric: UNIX-socket control plane + shared-memory data plane
+
+_FRAME = struct.Struct("<iiBQ")  # src, tag, kind, body nbytes
+_KIND_PICKLE = 0
+_KIND_SHM = 1
+
+_PIPE_PROTOCOL_NOTE = (
+    "result pipes carry ('ready',), ('ok', rank, result, stats, shm_names), "
+    "('err', rank, repr, traceback); host sends 'go' then 'stop'"
+)
+
+
+class _DecodeFailure:
+    """Mailbox marker: a frame arrived but its payload did not decode."""
+
+    def __init__(self, detail: str):
+        self.detail = detail
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes, or ``None`` on a clean mid-stream EOF."""
+    buf = bytearray(n)
+    view = memoryview(buf)
+    got = 0
+    while got < n:
+        k = sock.recv_into(view[got:], n - got)
+        if k == 0:
+            return None
+        got += k
+    return bytes(buf)
+
+
+class _ProcessTransport:
+    """One rank's endpoint: listener, reader threads, outgoing edges.
+
+    Every created shared-memory segment's name starts with the run
+    prefix, so the host finalizer can sweep leftovers even when this
+    rank dies without reporting (see ``_sweep_run_segments``).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        sockdir: Path,
+        run_prefix: str,
+        shm_threshold: int,
+        kill_marked: bool = False,
+    ):
+        self.rank = rank
+        self.size = size
+        self.sockdir = Path(sockdir)
+        self.run_prefix = run_prefix
+        self.shm_threshold = int(shm_threshold)
+        self.kill_marked = bool(kill_marked)
+        self._listener: socket.socket | None = None
+        self._conns: dict[int, tuple[socket.socket, threading.Lock]] = {}
+        self._conn_lock = threading.Lock()
+        self._mail: dict[tuple[int, int], queue.Queue] = {}
+        self._mail_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats = {"shm_sends": 0, "pickle_sends": 0, "shm_recvs": 0, "inline_sends": 0}
+        self._shm_seq = 0
+        self.shm_created: list[str] = []
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        path = self.sockdir / f"r{self.rank}.sock"
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(str(path))
+        self._listener.listen(self.size + 1)
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def close(self) -> None:
+        self._closed = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        with self._conn_lock:
+            for sock, _ in self._conns.values():
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+            self._conns.clear()
+
+    # -- receive side -----------------------------------------------------
+    def _accept_loop(self) -> None:
+        try:
+            while True:
+                conn, _ = self._listener.accept()
+                threading.Thread(target=self._reader, args=(conn,), daemon=True).start()
+        except OSError:
+            return  # listener closed
+
+    def _reader(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                head = _recv_exact(conn, _FRAME.size)
+                if head is None:
+                    return
+                src, tag, kind, nbytes = _FRAME.unpack(head)
+                body = _recv_exact(conn, nbytes) if nbytes else b""
+                if body is None:
+                    return  # peer died mid-frame; recv timeouts surface it
+                try:
+                    obj = self._decode(kind, body)
+                except Exception as e:  # noqa: BLE001 - delivered to recv
+                    obj = _DecodeFailure(f"message from rank {src} undecodable: {e!r}")
+                self.mailbox(src, tag).put(obj)
+        except OSError:
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _decode(self, kind: int, body: bytes) -> Any:
+        if kind == _KIND_PICKLE:
+            return pickle.loads(body)
+        if kind == _KIND_SHM:
+            name, shape, dtype = pickle.loads(body)
+            from ..parallel import shm as shm_mod
+
+            seg = shm_mod.attach(name)
+            try:
+                count = int(np.prod(shape, dtype=np.int64))
+                arr = np.frombuffer(seg.buf, dtype=np.dtype(dtype), count=count)
+                out = arr.reshape(shape).copy()
+                del arr
+            finally:
+                seg.close()
+            # ownership travelled with the message: the receiver unlinks
+            unlink_segment(name)
+            with self._stats_lock:
+                self._stats["shm_recvs"] += 1
+            return out
+        raise ValueError(f"unknown frame kind {kind}")
+
+    def mailbox(self, src: int, tag: int) -> queue.Queue:
+        key = (src, tag)
+        with self._mail_lock:
+            q = self._mail.get(key)
+            if q is None:
+                q = self._mail[key] = queue.Queue()
+            return q
+
+    def recv(self, src: int, tag: int, timeout: float) -> Any:
+        try:
+            obj = self.mailbox(src, tag).get(timeout=timeout)
+        except queue.Empty as e:
+            raise SpmdTimeout(src=src, dst=self.rank, tag=tag, waited_s=timeout) from e
+        if isinstance(obj, _DecodeFailure):
+            raise RuntimeError(obj.detail)
+        return obj
+
+    # -- send side --------------------------------------------------------
+    def _edge(self, dst: int) -> tuple[socket.socket, threading.Lock]:
+        with self._conn_lock:
+            edge = self._conns.get(dst)
+            if edge is not None:
+                return edge
+            path = self.sockdir / f"r{dst}.sock"
+            deadline = time.monotonic() + 10.0
+            while True:
+                s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                try:
+                    s.connect(str(path))
+                    break
+                except (FileNotFoundError, ConnectionRefusedError):
+                    s.close()
+                    if time.monotonic() > deadline:
+                        raise
+                    time.sleep(0.005)
+            edge = (s, threading.Lock())
+            self._conns[dst] = edge
+            return edge
+
+    def send(self, dst: int, tag: int, obj: Any) -> None:
+        kind = _KIND_PICKLE
+        body = None
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.nbytes >= self.shm_threshold
+            and obj.dtype.hasobject is False
+        ):
+            try:
+                body = self._stage_shm(obj)
+                kind = _KIND_SHM
+            except ShmUnavailable:
+                body = None
+        if body is None:
+            body = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            with self._stats_lock:
+                self._stats["pickle_sends"] += 1
+        sock, lock = self._edge(dst)
+        frame = _FRAME.pack(self.rank, tag, kind, len(body))
+        with lock:
+            sock.sendall(frame)
+            if body:
+                sock.sendall(body)
+
+    def _stage_shm(self, arr: np.ndarray) -> bytes:
+        """Stage ``arr`` in a run-prefixed segment; returns the descriptor.
+
+        Ownership transfers to the receiver (the sender keeps no
+        mapping), so a receiver that dies before copy-out leaves the
+        segment for the host sweep.  ``spmd.rank.shm`` kill marks fire
+        *inside* this window — after the segment exists, before the
+        descriptor is sent — which is exactly the leak the sweep must
+        cover.
+        """
+        while True:
+            with self._stats_lock:
+                name = f"{self.run_prefix}_{self.rank}_{self._shm_seq}"
+                self._shm_seq += 1
+            try:
+                ref, block = share_array(arr, name=name, track=False)
+                break
+            except FileExistsError:  # pragma: no cover - stale collision
+                continue
+        self.shm_created.append(name)
+        # release the sender's mapping without unlinking: the segment
+        # now belongs to the in-flight message
+        block.release()
+        if self.kill_marked:
+            os._exit(17)  # simulated kill -9 inside the staging window
+        with self._stats_lock:
+            self._stats["shm_sends"] += 1
+        return pickle.dumps((name, ref.shape, ref.dtype), protocol=pickle.HIGHEST_PROTOCOL)
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            return dict(self._stats)
+
+
+class ProcessComm(BaseComm):
+    """Communicator handle of one process rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        transport: _ProcessTransport,
+        default_timeout: float = DEFAULT_RECV_TIMEOUT,
+    ):
+        self.rank = rank
+        self._size = size
+        self._transport = transport
+        self._default_timeout = float(default_timeout)
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def send(self, obj: Any, dest: int, tag: int = BaseComm.DEFAULT_TAG) -> None:
+        """Send a Python object; large ndarrays ride the shm data plane."""
+        self._check_rank(dest)
+        self._transport.send(dest, tag, obj)
+
+    def recv(self, source: int, tag: int = BaseComm.DEFAULT_TAG, timeout: float | None = None) -> Any:
+        """Blocking receive from ``source``."""
+        self._check_rank(source)
+        waited = self._default_timeout if timeout is None else float(timeout)
+        return self._transport.recv(source, tag, waited)
+
+    def transport_stats(self) -> dict:
+        return self._transport.stats()
+
+
+# ----------------------------------------------------------------------
+# run reports (sweep accounting, per-rank transport stats)
+
+
+@dataclass(frozen=True)
+class SpmdRunReport:
+    """What the most recent :func:`run_spmd` did, beyond its results."""
+
+    fabric: str
+    n_ranks: int
+    wall_s: float
+    n_failures: int
+    swept_segments: tuple[str, ...] = ()
+    rank_stats: tuple[dict | None, ...] = ()
+
+
+_last_run_lock = threading.Lock()
+_last_run: SpmdRunReport | None = None
+
+
+def _record_run(report: SpmdRunReport) -> None:
+    global _last_run
+    with _last_run_lock:
+        _last_run = report
+
+
+def last_run_report() -> SpmdRunReport | None:
+    """Report of the most recent ``run_spmd`` in this process (or None)."""
+    with _last_run_lock:
+        return _last_run
+
+
+# ----------------------------------------------------------------------
+# hosts
+
+
+def run_spmd(
+    fn: Callable[..., Any],
+    n_ranks: int,
+    *args: Any,
+    fabric: str | None = None,
+    recv_timeout: float = DEFAULT_RECV_TIMEOUT,
+    shm_threshold: int | None = None,
+    **kwargs: Any,
+) -> list:
+    """Run ``fn(comm, *args, **kwargs)`` on ``n_ranks`` SPMD ranks.
+
+    Returns the per-rank return values in rank order; raises
+    :class:`SpmdError` (with per-rank tracebacks) if any rank raised.
+
+    Parameters
+    ----------
+    fabric:
+        ``"thread"`` (default; the deterministic in-process reference)
+        or ``"process"`` (forked OS ranks over the socket + shared-
+        memory transport).  ``None`` reads ``REPRO_SPMD_FABRIC``.
+        Collectives produce identical results on both.
+    recv_timeout:
+        Default timeout of every blocking ``comm.recv`` (seconds);
+        expired receives raise :class:`SpmdTimeout` naming src, dst,
+        tag, and the wait.  Individual calls may still pass their own
+        ``timeout=``.
+    shm_threshold:
+        Process fabric only: ndarray payloads at least this many bytes
+        ship through shared memory instead of pickle
+        (``None`` reads ``REPRO_SPMD_SHM_THRESHOLD``, default 64 KiB).
+
+    Process-fabric ranks are forked, so ``fn`` may close over live
+    arrays (they arrive copy-on-write); results return over a pipe and
+    must be picklable.  Rank processes are daemonic: a rank must not
+    fork its own process pools (in-rank codecs run their internal
+    fan-outs serially — the rank is the unit of parallelism).
+    """
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    if fabric is None:
+        fabric = os.environ.get(_ENV_FABRIC, "thread").strip() or "thread"
+    if fabric not in ("thread", "process"):
+        raise ValueError(f"unknown fabric {fabric!r}; choose 'thread' or 'process'")
+    if shm_threshold is None:
+        shm_threshold = int(os.environ.get(_ENV_SHM_THRESHOLD, DEFAULT_SHM_THRESHOLD))
+    if fabric == "process":
+        return _run_spmd_process(fn, n_ranks, args, kwargs, recv_timeout, shm_threshold)
+    return _run_spmd_thread(fn, n_ranks, args, kwargs, recv_timeout)
+
+
+def _format_tb(e: BaseException) -> str:
+    return "".join(traceback.format_exception(type(e), e, e.__traceback__))
+
+
+def _run_spmd_thread(fn, n_ranks, args, kwargs, recv_timeout) -> list:
+    t0 = time.perf_counter()
+    fab = _ThreadFabric(n_ranks)
+    results: list[Any] = [None] * n_ranks
+    comms: list[ThreadComm | None] = [None] * n_ranks
+    failures: dict[int, BaseException] = {}
+
+    def runner(rank: int) -> None:
+        comm = ThreadComm(rank, fab, default_timeout=recv_timeout)
+        comms[rank] = comm
+        try:
+            faults.error_point("spmd.rank.run")
+            results[rank] = fn(comm, *args, **kwargs)
+        except BaseException as e:  # noqa: BLE001 - reported to the host
+            failures[rank] = e
+            fab.barrier.abort()
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(n_ranks)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120.0)
+    _record_run(
+        SpmdRunReport(
+            fabric="thread",
+            n_ranks=n_ranks,
+            wall_s=time.perf_counter() - t0,
+            n_failures=len(failures),
+            rank_stats=tuple(
+                c.transport_stats() if c is not None else None for c in comms
+            ),
+        )
+    )
+    if failures:
+        raise SpmdError(failures, {r: _format_tb(e) for r, e in failures.items()})
+    return results
+
+
+def _rank_main(
+    rank: int,
+    n_ranks: int,
+    sockdir: str,
+    run_prefix: str,
+    conn,
+    fn,
+    args,
+    kwargs,
+    recv_timeout: float,
+    shm_threshold: int,
+    kill_marked: bool,
+) -> None:
+    """Entry point of one forked rank process."""
+    transport = _ProcessTransport(
+        rank, n_ranks, Path(sockdir), run_prefix, shm_threshold, kill_marked
+    )
+    try:
+        transport.start()
+        conn.send(("ready", rank))
+        conn.recv()  # "go": every listener is bound before any send
+        comm = ProcessComm(rank, n_ranks, transport, default_timeout=recv_timeout)
+        faults.error_point("spmd.rank.run")
+        result = fn(comm, *args, **kwargs)
+        try:
+            conn.send(("ok", rank, result, transport.stats(), list(transport.shm_created)))
+        except Exception as e:  # noqa: BLE001 - unpicklable result
+            conn.send(
+                (
+                    "err",
+                    rank,
+                    f"rank result not picklable: {e!r}",
+                    traceback.format_exc(),
+                    list(transport.shm_created),
+                )
+            )
+    except BaseException as e:  # noqa: BLE001 - reported to the host
+        try:
+            conn.send(("err", rank, repr(e), traceback.format_exc(), list(transport.shm_created)))
+        except Exception:  # pragma: no cover - pipe gone with the host
+            pass
+    # linger until the host has collected everyone, so late peer sends
+    # still find a live listener instead of a connection reset
+    try:
+        if conn.poll(30.0):
+            conn.recv()  # "stop"
+    except (EOFError, OSError):  # pragma: no cover - host died first
+        pass
+    transport.close()
+
+
+def _sweep_run_segments(run_prefix: str, reported: set[str]) -> list[str]:
+    """Unlink every still-existing segment of one run; returns the names.
+
+    Candidates come from two sources: the names surviving ranks
+    reported, and a ``/dev/shm`` scan for the run prefix — the latter
+    covers ranks that died before reporting (the abnormal-death leak
+    window this sweep exists for).
+    """
+    candidates = set(reported)
+    shm_root = Path("/dev/shm")
+    if shm_root.is_dir():
+        try:
+            candidates.update(p.name for p in shm_root.glob(f"{run_prefix}_*"))
+        except OSError:  # pragma: no cover - racing teardown
+            pass
+    return sorted(name for name in candidates if unlink_segment(name))
+
+
+def _run_spmd_process(fn, n_ranks, args, kwargs, recv_timeout, shm_threshold) -> list:
+    import multiprocessing as mp
+
+    if "fork" not in mp.get_all_start_methods():
+        raise SpmdError(
+            "the process fabric requires the 'fork' start method "
+            "(POSIX); use fabric='thread' on this platform"
+        )
+    ctx = mp.get_context("fork")
+    t0 = time.perf_counter()
+    sockdir = tempfile.mkdtemp(prefix="rspmd-")
+    run_prefix = f"rspmd{os.getpid():x}x{uuid.uuid4().hex[:6]}"
+    kill_marks = faults.kill_indices("spmd.rank.shm", n_ranks)
+
+    procs: list = []
+    pipes: list = []
+    results: list[Any] = [None] * n_ranks
+    stats: list[dict | None] = [None] * n_ranks
+    failures: dict[int, BaseException] = {}
+    tracebacks: dict[int, str] = {}
+    reported_segments: set[str] = set()
+    try:
+        for r in range(n_ranks):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            p = ctx.Process(
+                target=_rank_main,
+                args=(
+                    r,
+                    n_ranks,
+                    sockdir,
+                    run_prefix,
+                    child_conn,
+                    fn,
+                    args,
+                    kwargs,
+                    recv_timeout,
+                    shm_threshold,
+                    r in kill_marks,
+                ),
+                daemon=True,
+            )
+            p.start()
+            child_conn.close()
+            procs.append(p)
+            pipes.append(parent_conn)
+
+        # phase 1: every rank listening before any rank may send
+        ready_deadline = time.monotonic() + 60.0
+        ready: set[int] = set()
+        while len(ready) + len(failures) < n_ranks:
+            for r in range(n_ranks):
+                if r in ready or r in failures:
+                    continue
+                try:
+                    if pipes[r].poll(0.01):
+                        msg = pipes[r].recv()
+                        if msg[0] == "ready":
+                            ready.add(r)
+                        else:  # died during import/bind
+                            _absorb_err(r, msg, failures, tracebacks, reported_segments)
+                        continue
+                except (EOFError, OSError):
+                    pass
+                if not procs[r].is_alive():
+                    failures[r] = RemoteRankError(
+                        f"rank {r} died during startup (exitcode {procs[r].exitcode})", r
+                    )
+            if time.monotonic() > ready_deadline:
+                for r in range(n_ranks):
+                    if r not in ready and r not in failures:
+                        failures[r] = RemoteRankError(f"rank {r} never became ready", r)
+                break
+        for r in ready:
+            try:
+                pipes[r].send("go")
+            except (BrokenPipeError, OSError):  # pragma: no cover - died at go
+                pass
+
+        # phase 2: collect results; a failure starts a grace timer for
+        # the rest (peers of a dead rank unwedge via SpmdTimeout)
+        done = set(failures)
+        fail_deadline: float | None = None
+        while len(done) < n_ranks:
+            for r in range(n_ranks):
+                if r in done:
+                    continue
+                dead = False
+                try:
+                    if pipes[r].poll(0.02):
+                        msg = pipes[r].recv()
+                        if msg[0] == "ok":
+                            _, _, results[r], stats[r], names = msg
+                            reported_segments.update(names)
+                        else:
+                            _absorb_err(r, msg, failures, tracebacks, reported_segments)
+                        done.add(r)
+                        continue
+                except (EOFError, OSError):
+                    dead = True
+                if dead or not procs[r].is_alive():
+                    # drain any result that raced the exit
+                    try:
+                        if pipes[r].poll(0):
+                            continue
+                    except (EOFError, OSError):
+                        pass
+                    failures[r] = RemoteRankError(
+                        f"rank {r} died before reporting a result "
+                        f"(exitcode {procs[r].exitcode})",
+                        r,
+                    )
+                    done.add(r)
+            if failures and fail_deadline is None:
+                fail_deadline = time.monotonic() + recv_timeout + 15.0
+            if fail_deadline is not None and time.monotonic() > fail_deadline:
+                for r in range(n_ranks):
+                    if r not in done:
+                        failures[r] = RemoteRankError(
+                            f"rank {r} terminated: unresponsive after a peer failure", r
+                        )
+                        done.add(r)
+                        procs[r].terminate()
+                break
+
+        for r in range(n_ranks):
+            try:
+                pipes[r].send("stop")
+            except (BrokenPipeError, OSError):
+                pass
+        for p in procs:
+            p.join(timeout=10.0)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - stuck rank
+                p.terminate()
+                p.join(timeout=5.0)
+    finally:
+        for conn in pipes:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        swept = _sweep_run_segments(run_prefix, reported_segments)
+        import shutil
+
+        shutil.rmtree(sockdir, ignore_errors=True)
+        _record_run(
+            SpmdRunReport(
+                fabric="process",
+                n_ranks=n_ranks,
+                wall_s=time.perf_counter() - t0,
+                n_failures=len(failures),
+                swept_segments=tuple(swept),
+                rank_stats=tuple(stats),
+            )
+        )
+    if failures:
+        raise SpmdError(failures, tracebacks)
+    return results
+
+
+def _absorb_err(r, msg, failures, tracebacks, reported_segments) -> None:
+    """Fold one ('err', rank, repr, tb[, shm_names]) message into the maps."""
+    detail, tb = msg[2], msg[3]
+    if len(msg) > 4:
+        reported_segments.update(msg[4])
+    failures[r] = RemoteRankError(detail, r, tb)
+    tracebacks[r] = tb

@@ -62,6 +62,7 @@ __all__ = [
     "ShardedFrame",
     "decode_shard",
     "encode_shards",
+    "encode_shards_spmd",
     "plan_shards",
     "shard_tolerance",
 ]
@@ -213,6 +214,65 @@ def encode_shards(
         [a for a, _ in bounds],
         [b for _, b in bounds],
     )
+
+
+def encode_shards_spmd(
+    field: np.ndarray,
+    plan: BlockPlan,
+    codec: ShardCodec,
+    *,
+    fabric: str | None = None,
+    n_ranks: int = 4,
+    recv_timeout: float = 60.0,
+    shm_threshold: int | None = None,
+) -> list[bytes]:
+    """Encode every shard across SPMD ranks; one container per shard.
+
+    The rank-shaped counterpart of :func:`encode_shards`: rank 0 owns
+    the frame and ships each shard's slice to its owner rank
+    (round-robin) as a bare ndarray — on the process fabric a large
+    slice rides the zero-copy shared-memory data plane — then gathers
+    the encoded containers back in shard order.  Byte-identical to
+    :func:`encode_shards` on every fabric.
+    """
+    if tuple(field.shape) != plan.shape:
+        raise ValueError(f"expected shape {plan.shape}, got {field.shape}")
+    from .fabric import run_spmd
+
+    bounds = list(zip(plan.starts, plan.stops))
+    n_ranks = max(1, min(int(n_ranks), len(bounds)))
+
+    def rank_fn(comm):
+        if comm.rank == 0:
+            for i, (start, stop) in enumerate(bounds):
+                dst = i % comm.size
+                if dst != 0:
+                    comm.send(np.ascontiguousarray(field[start:stop]), dst, tag=i)
+        encoded = []
+        for i in range(comm.rank, len(bounds), comm.size):
+            if comm.rank == 0:
+                start, stop = bounds[i]
+                shard = np.ascontiguousarray(field[start:stop])
+            else:
+                shard = comm.recv(0, tag=i)
+            encoded.append((i, _encode_shard_array(shard, codec)))
+        gathered = comm.gather(encoded, root=0)
+        if comm.rank != 0:
+            return None
+        out: list[bytes | None] = [None] * len(bounds)
+        for pairs in gathered:
+            for i, blob in pairs:
+                out[i] = blob
+        return out
+
+    results = run_spmd(
+        rank_fn,
+        n_ranks,
+        fabric=fabric,
+        recv_timeout=recv_timeout,
+        shm_threshold=shm_threshold,
+    )
+    return results[0]
 
 
 def decode_shard(payload: bytes, payload_mode: str) -> np.ndarray:

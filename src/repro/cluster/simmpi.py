@@ -1,170 +1,21 @@
-"""In-process SPMD message-passing substrate (the paper's MPI stand-in).
+"""Compatibility shim: the SPMD substrate moved to :mod:`repro.cluster.fabric`.
 
-The paper parallelizes refactoring by giving each of up to 4096 MPI
-ranks (one per GPU) an equal partition and running independently.  This
-module provides a small, deterministic, thread-based communicator with
-the mpi4py-style surface the examples and tests need — point-to-point
-``send``/``recv`` plus the collectives (``bcast``, ``scatter``,
-``gather``, ``allgather``, ``reduce``, ``allreduce``, ``barrier``) —
-implemented over per-edge FIFO queues.
-
-It is a *functional* substrate for small rank counts (examples, tests,
-workflow demos).  Performance at 4096 ranks is modeled analytically in
-:mod:`repro.cluster.scaling`; nothing here pretends to time real
-networks.
+``SimComm`` (the thread communicator), ``run_spmd``, and ``SpmdError``
+keep their historical import path here.  New code should import from
+:mod:`repro.cluster.fabric`, which adds the process fabric
+(``run_spmd(..., fabric="process")``), ``SpmdTimeout``, and
+``RemoteRankError``.
 """
 
 from __future__ import annotations
 
-import queue
-import threading
-from typing import Any, Callable
+from .fabric import (  # noqa: F401
+    RemoteRankError,
+    SimComm,
+    SpmdError,
+    SpmdTimeout,
+    ThreadComm,
+    run_spmd,
+)
 
-import numpy as np
-
-__all__ = ["SimComm", "run_spmd", "SpmdError"]
-
-
-class SpmdError(RuntimeError):
-    """Raised on the host when one or more ranks failed."""
-
-    def __init__(self, failures: dict[int, BaseException]):
-        self.failures = failures
-        detail = "; ".join(f"rank {r}: {e!r}" for r, e in sorted(failures.items()))
-        super().__init__(f"{len(failures)} rank(s) failed: {detail}")
-
-
-class _Fabric:
-    """Shared state of one communicator: per-edge mailboxes + a barrier."""
-
-    def __init__(self, size: int):
-        self.size = size
-        self._queues: dict[tuple[int, int, int], queue.Queue] = {}
-        self._lock = threading.Lock()
-        self.barrier = threading.Barrier(size)
-
-    def mailbox(self, src: int, dst: int, tag: int) -> queue.Queue:
-        key = (src, dst, tag)
-        with self._lock:
-            q = self._queues.get(key)
-            if q is None:
-                q = self._queues[key] = queue.Queue()
-            return q
-
-
-class SimComm:
-    """Communicator handle held by each rank."""
-
-    #: default point-to-point tag, mirroring MPI's ANY-tag-free style here
-    DEFAULT_TAG = 0
-
-    def __init__(self, rank: int, fabric: _Fabric):
-        self.rank = rank
-        self._fabric = fabric
-
-    @property
-    def size(self) -> int:
-        return self._fabric.size
-
-    # -- point to point --------------------------------------------------
-    def send(self, obj: Any, dest: int, tag: int = DEFAULT_TAG) -> None:
-        """Send a Python object (arrays are shipped by copy, like a wire)."""
-        self._check_rank(dest)
-        if isinstance(obj, np.ndarray):
-            obj = obj.copy()
-        self._fabric.mailbox(self.rank, dest, tag).put(obj)
-
-    def recv(self, source: int, tag: int = DEFAULT_TAG, timeout: float = 30.0) -> Any:
-        """Blocking receive from ``source``."""
-        self._check_rank(source)
-        try:
-            return self._fabric.mailbox(source, self.rank, tag).get(timeout=timeout)
-        except queue.Empty as e:  # pragma: no cover - deadlock guard
-            raise TimeoutError(
-                f"rank {self.rank} timed out receiving from {source} (tag {tag})"
-            ) from e
-
-    # -- collectives ------------------------------------------------------
-    def barrier(self) -> None:
-        self._fabric.barrier.wait()
-
-    def bcast(self, obj: Any, root: int = 0) -> Any:
-        if self.rank == root:
-            for r in range(self.size):
-                if r != root:
-                    self.send(obj, r, tag=-1)
-            return obj
-        return self.recv(root, tag=-1)
-
-    def scatter(self, chunks: list | None, root: int = 0) -> Any:
-        if self.rank == root:
-            if chunks is None or len(chunks) != self.size:
-                raise ValueError(f"root must pass exactly {self.size} chunks")
-            for r in range(self.size):
-                if r != root:
-                    self.send(chunks[r], r, tag=-2)
-            return chunks[root]
-        return self.recv(root, tag=-2)
-
-    def gather(self, obj: Any, root: int = 0) -> list | None:
-        if self.rank == root:
-            out: list[Any] = [None] * self.size
-            out[root] = obj
-            for r in range(self.size):
-                if r != root:
-                    out[r] = self.recv(r, tag=-3)
-            return out
-        self.send(obj, root, tag=-3)
-        return None
-
-    def allgather(self, obj: Any) -> list:
-        gathered = self.gather(obj, root=0)
-        return self.bcast(gathered, root=0)
-
-    def reduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None, root: int = 0):
-        op = op if op is not None else (lambda a, b: a + b)
-        gathered = self.gather(obj, root=root)
-        if self.rank != root:
-            return None
-        acc = gathered[0]
-        for item in gathered[1:]:
-            acc = op(acc, item)
-        return acc
-
-    def allreduce(self, obj: Any, op: Callable[[Any, Any], Any] | None = None):
-        return self.bcast(self.reduce(obj, op=op, root=0), root=0)
-
-    # ----------------------------------------------------------------------
-    def _check_rank(self, r: int) -> None:
-        if not 0 <= r < self.size:
-            raise ValueError(f"rank {r} out of range [0, {self.size})")
-
-
-def run_spmd(fn: Callable[..., Any], n_ranks: int, *args: Any, **kwargs: Any) -> list:
-    """Run ``fn(comm, *args, **kwargs)`` on ``n_ranks`` threads.
-
-    Returns the per-rank return values in rank order; raises
-    :class:`SpmdError` if any rank raised.
-    """
-    if n_ranks < 1:
-        raise ValueError("need at least one rank")
-    fabric = _Fabric(n_ranks)
-    results: list[Any] = [None] * n_ranks
-    failures: dict[int, BaseException] = {}
-
-    def runner(rank: int) -> None:
-        comm = SimComm(rank, fabric)
-        try:
-            results[rank] = fn(comm, *args, **kwargs)
-        except BaseException as e:  # noqa: BLE001 - reported to the host
-            failures[rank] = e
-            fabric.barrier.abort()
-
-    threads = [threading.Thread(target=runner, args=(r,), daemon=True) for r in range(n_ranks)]
-    for t in threads:
-        t.start()
-    for t in threads:
-        t.join(timeout=120.0)
-    if failures:
-        raise SpmdError(failures)
-    return results
+__all__ = ["SimComm", "run_spmd", "SpmdError", "SpmdTimeout"]

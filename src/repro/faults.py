@@ -72,6 +72,9 @@ Instrumented sites (the current map; patterns compose over it)
 ``fileio.read.payload``           corrupt a compressed-payload read
 ``sharded.encode.shard``          error/delay inside one shard encode
 ``executor.process.map``          kill pool workers mid-batch
+``spmd.rank.run``                 error at SPMD rank entry (both fabrics)
+``spmd.rank.shm``                 kill a process rank inside shm staging
+``storage.tier.put``              error/delay one tier-backend object put
 ================================  =====================================
 """
 

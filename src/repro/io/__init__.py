@@ -5,6 +5,7 @@ from .container import (
     RefactoredFileReader,
     RefactoredFileWriter,
     ShardedFileReader,
+    container_extents,
     read_refactored_stream,
     write_refactored,
     write_sharded_stream,
@@ -19,7 +20,15 @@ from .stream import (
     StepStreamWriter,
     StreamError,
 )
-from .storage import ALPINE_PFS, ARCHIVE_TIER, NVME_TIER, StorageTier, TieredStorage
+from .storage import (
+    ALPINE_PFS,
+    ARCHIVE_TIER,
+    NVME_TIER,
+    LocalTierStore,
+    StorageError,
+    StorageTier,
+    TieredStorage,
+)
 from .workflow import (
     DemoResult,
     MeasuredPipeline,
@@ -35,6 +44,7 @@ __all__ = [
     "ARCHIVE_TIER",
     "ContainerError",
     "LifecycleOutcome",
+    "LocalTierStore",
     "DemoResult",
     "MeasuredPipeline",
     "NVME_TIER",
@@ -47,10 +57,12 @@ __all__ = [
     "ShardedStep",
     "StepStreamReader",
     "StepStreamWriter",
+    "StorageError",
     "StorageTier",
     "StreamError",
     "TieredStorage",
     "WorkflowPoint",
+    "container_extents",
     "model_workflow",
     "read_refactored_stream",
     "run_streaming_pipeline",

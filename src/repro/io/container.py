@@ -32,6 +32,7 @@ __all__ = [
     "RefactoredFileWriter",
     "RefactoredFileReader",
     "ShardedFileReader",
+    "container_extents",
     "write_refactored",
     "write_refactored_stream",
     "read_refactored_stream",
@@ -281,6 +282,59 @@ def read_refactored_stream(data, verify: bool = True) -> tuple[dict, list[np.nda
             )
         classes.append(np.frombuffer(raw, dtype=np.float64).copy())
     return header, classes
+
+
+def container_extents(payload) -> tuple[int, list[dict]]:
+    """Dissect container bytes into (payload offset, extent table).
+
+    The seam tiered placement splits a serialized step along: a sharded
+    ``RPSH`` container yields one extent per shard segment, a
+    refactored ``RPRC`` container one per coefficient class, and any
+    other payload (e.g. an ``.mgz`` compressed blob) a single opaque
+    extent.  Extent offsets are relative to the payload start, cover it
+    exactly and in order, so prepending ``payload[:payload_start]`` to
+    the concatenated extents reproduces the container byte-for-byte.
+
+    Each row is ``{"name", "offset", "nbytes"}``; names follow the
+    header's table (``shard 0`` … / ``class 0`` …, ``payload`` for
+    opaque blobs).
+    """
+    view = memoryview(payload)
+    for magic, table, label in (
+        (_SHARD_MAGIC, "shards", "shard"),
+        (_MAGIC, "classes", "class"),
+    ):
+        start = len(magic) + 8
+        if len(view) < start or bytes(view[: len(magic)]) != magic:
+            continue
+        (hlen,) = struct.unpack_from("<Q", view, len(magic))
+        if len(view) < start + hlen:
+            raise ContainerError(
+                f"truncated header in container payload "
+                f"(offset {start}: got {len(view) - start} of {hlen} bytes)"
+            )
+        try:
+            header = json.loads(bytes(view[start : start + hlen]).decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as e:
+            raise ContainerError("corrupt header in container payload") from e
+        if not isinstance(header, dict) or not isinstance(header.get(table), list):
+            raise ContainerError(f"container header missing its {label} table")
+        payload_start = start + hlen
+        extents = []
+        for i, meta in enumerate(header[table]):
+            try:
+                offset, nbytes = int(meta["offset"]), int(meta["nbytes"])
+            except (KeyError, TypeError) as e:
+                raise ContainerError(f"malformed {label}-table entry {i}") from e
+            extents.append({"name": f"{label} {i}", "offset": offset, "nbytes": nbytes})
+        covered = sum(e["nbytes"] for e in extents)
+        if payload_start + covered != len(view):
+            raise ContainerError(
+                f"container extents cover {covered} payload bytes, "
+                f"file has {len(view) - payload_start}"
+            )
+        return payload_start, extents
+    return 0, [{"name": "payload", "offset": 0, "nbytes": len(view)}]
 
 
 # ----------------------------------------------------------------------

@@ -26,6 +26,7 @@ from .shm import (
     share_array,
     share_bytes,
     share_chunks,
+    unlink_segment,
 )
 
 __all__ = [
@@ -44,4 +45,5 @@ __all__ = [
     "share_array",
     "share_bytes",
     "share_chunks",
+    "unlink_segment",
 ]

@@ -218,7 +218,7 @@ class TestHuffmanProcessDecode:
         vals = rng.integers(-6, 7, n).astype(np.int64)
         payload, header = H.huffman_encode(vals)
 
-        def refuse(size):
+        def refuse(size, name=None, track=True):
             raise S.ShmUnavailable("test")
 
         monkeypatch.setattr(S, "_create", refuse)
