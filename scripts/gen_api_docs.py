@@ -12,6 +12,7 @@ MODULES = [
     "repro.compress", "repro.parallel", "repro.io", "repro.io.scrub",
     "repro.service",
     "repro.faults", "repro.workloads", "repro.analysis", "repro.experiments",
+    "tools.reprolint",
 ]
 
 # hand-written context emitted after a module's docstring line
@@ -27,6 +28,12 @@ containers:
 | `thread[:N]` (alias `parallel`) | `ThreadExecutor` | shared thread pool; overlaps GIL-releasing kernels |
 | `process[:N]` | `ProcessExecutor` | process pool; shared-memory staging unlocks GIL-bound decode |
 | `auto` | thread when >1 core, else serial | — |
+""",
+    "tools.reprolint": """\
+The `repro-lint` console script (`tools.reprolint.cli:main`).  Seven
+rules: `fault-site`, `crash-swallow`, `atomic-publish`, `shm-lifetime`,
+`import-boundary`, `lock-order`, `determinism` — see the "Static
+invariants" section of DESIGN.md.  Stdlib-only; never imports `repro`.
 """,
 }
 

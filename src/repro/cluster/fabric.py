@@ -540,6 +540,7 @@ class _ProcessTransport:
                 name = f"{self.run_prefix}_{self.rank}_{self._shm_seq}"
                 self._shm_seq += 1
             try:
+                # reprolint: ok shm-lifetime - ownership transfers to the receiver; a death in flight is reclaimed by _sweep_run_segments
                 ref, block = share_array(arr, name=name, track=False)
                 break
             except FileExistsError:  # pragma: no cover - stale collision
@@ -696,6 +697,7 @@ def _run_spmd_thread(fn, n_ranks, args, kwargs, recv_timeout) -> list:
         try:
             faults.error_point("spmd.rank.run")
             results[rank] = fn(comm, *args, **kwargs)
+        # reprolint: ok crash-swallow - recorded in failures[rank]; the host re-raises as SpmdError after join
         except BaseException as e:  # noqa: BLE001 - reported to the host
             failures[rank] = e
             fab.barrier.abort()
@@ -757,6 +759,7 @@ def _rank_main(
                     list(transport.shm_created),
                 )
             )
+    # reprolint: ok crash-swallow - a forked rank has no caller: the error ships over the pipe and the host raises SpmdError
     except BaseException as e:  # noqa: BLE001 - reported to the host
         try:
             conn.send(("err", rank, repr(e), traceback.format_exc(), list(transport.shm_created)))

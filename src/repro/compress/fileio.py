@@ -139,9 +139,8 @@ def load_compressed(source) -> tuple[CompressedData, TensorHierarchy]:
                     f"malformed extent {i} in header of {name}"
                 ) from e
             raw = f.read(nbytes)
-            site = "fileio.read.payload"
-            faults.delay_point(site)
-            raw = faults.corrupt_bytes(site, raw)
+            faults.delay_point("fileio.read.payload")
+            raw = faults.corrupt_bytes("fileio.read.payload", raw)
             if len(raw) != nbytes:
                 raise CompressedFileError(
                     f"truncated payload {i} in {name} "

@@ -102,6 +102,7 @@ class _ServerThread:
         asyncio.set_event_loop(self._loop)
         try:
             self.svc = self._loop.run_until_complete(serve(config))
+        # reprolint: ok crash-swallow - stored in self._fail; __init__ re-raises it after the startup wait
         except BaseException as e:  # surface bind/config errors to the caller
             self._fail = e
             self._started.set()

@@ -57,25 +57,15 @@ probability, default 1), ``count`` (max firings, default unlimited),
 explicit API (:func:`install`, :func:`inject`) takes a ``seed=``
 argument.  Same plan + same seed ⇒ same firing sequence.
 
-Instrumented sites (the current map; patterns compose over it)
---------------------------------------------------------------
-
-================================  =====================================
-``stream.step.pre_tmp``           crash before the step tmp file exists
-``stream.step.post_tmp``          crash after tmp write, before rename
-``stream.step.file``              corrupt the committed step file
-``stream.commit.post_rename``     crash after rename, before manifest
-``stream.manifest.pre_flush``     crash before the manifest tmp write
-``stream.manifest.post_tmp``      crash after manifest tmp, pre rename
-``stream.manifest.file``          corrupt the committed manifest
-``container.read.*``              corrupt/delay a ranged container read
-``fileio.read.payload``           corrupt a compressed-payload read
-``sharded.encode.shard``          error/delay inside one shard encode
-``executor.process.map``          kill pool workers mid-batch
-``spmd.rank.run``                 error at SPMD rank entry (both fabrics)
-``spmd.rank.shm``                 kill a process rank inside shm staging
-``storage.tier.put``              error/delay one tier-backend object put
-================================  =====================================
+Instrumented sites live in :data:`SITES` — the canonical registry.  A
+plan clause whose site glob matches no registered site can never fire;
+:func:`install` (and ambient ``REPRO_FAULTS`` resolution) warns about
+such clauses with :class:`UnknownFaultSiteWarning` instead of letting a
+typo silently no-op.  The static side of the same contract is enforced
+by ``repro-lint``'s ``fault-site`` rule: every site string passed to a
+helper in this module must be registered here, every registered site
+must be instrumented, and every registered site must be exercised by at
+least one fault plan in the test/benchmark tree.
 """
 
 from __future__ import annotations
@@ -85,15 +75,18 @@ import os
 import random
 import threading
 import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 
 __all__ = [
+    "SITES",
     "FaultSpec",
     "FaultInjector",
     "InjectedCrash",
     "InjectedFault",
+    "UnknownFaultSiteWarning",
     "active",
     "clear",
     "corrupt_bytes",
@@ -105,12 +98,80 @@ __all__ = [
     "install",
     "kill_indices",
     "parse_plan",
+    "site_registered",
+    "validate_plan",
 ]
 
 _ENV_KNOB = "REPRO_FAULTS"
 _ENV_SEED = "REPRO_FAULTS_SEED"
 
 KINDS = ("crash", "error", "truncate", "bitflip", "kill", "delay")
+
+#: The canonical fault-site registry: every name an instrumented layer
+#: passes to the helpers below, mapped to what failing there simulates.
+#: Entries may be patterns (``container.read.*``) for families whose
+#: suffix is data-dependent (per-shard read extents).  Checked both
+#: ways by ``repro-lint`` (rule ``fault-site``): an instrumented site
+#: missing here fails lint, and so does a registered site that is never
+#: instrumented or never exercised by a fault plan in the test tree.
+SITES = {
+    "stream.step.pre_tmp": "crash before the step tmp file exists",
+    "stream.step.post_tmp": "crash after tmp write, before rename",
+    "stream.step.file": "corrupt the committed step file",
+    "stream.commit.post_rename": "crash after rename, before manifest",
+    "stream.manifest.pre_flush": "crash before the manifest tmp write",
+    "stream.manifest.pre_tmp": "crash before the manifest tmp exists",
+    "stream.manifest.post_tmp": "crash after manifest tmp, pre rename",
+    "stream.manifest.file": "corrupt the committed manifest",
+    "container.write.pre_tmp": "crash before a container tmp exists",
+    "container.write.post_tmp": "crash after container tmp, pre rename",
+    "container.write.file": "corrupt a committed container file",
+    "container.read.*": "corrupt/delay a ranged container read",
+    "fileio.read.payload": "corrupt a compressed-payload read",
+    "sharded.encode.shard": "error/delay inside one shard encode",
+    "executor.process.map": "kill pool workers mid-batch",
+    "spmd.rank.run": "error at SPMD rank entry (both fabrics)",
+    "spmd.rank.shm": "kill a process rank inside shm staging",
+    "storage.tier.put": "error/delay one tier-backend object put",
+}
+
+
+class UnknownFaultSiteWarning(UserWarning):
+    """A plan clause's site glob matches no registered fault site."""
+
+
+def site_registered(site: str) -> bool:
+    """Is ``site`` (a concrete name) covered by the registry?"""
+    return site in SITES or any(
+        "*" in pat and fnmatch.fnmatchcase(site, pat) for pat in SITES
+    )
+
+
+def _glob_matches_registry(glob: str) -> bool:
+    """Can a plan clause's site glob ever match a registered site?
+
+    Either the glob covers a registered concrete site, or it falls
+    inside (or equals) a registered family pattern — both directions
+    matter because the registry and the plan may each use wildcards.
+    """
+    return any(
+        glob == pat
+        or fnmatch.fnmatchcase(pat, glob)
+        or fnmatch.fnmatchcase(glob, pat)
+        for pat in SITES
+    )
+
+
+def validate_plan(specs) -> list[str]:
+    """Site globs in ``specs`` that can never match a registered site.
+
+    Used by :func:`install` / ambient ``REPRO_FAULTS`` resolution to
+    warn about typo'd plans that would otherwise silently no-op.
+    Returns the offending globs (empty = plan is satisfiable).
+    """
+    return sorted(
+        {s.site for s in specs if not _glob_matches_registry(s.site)}
+    )
 
 #: kind-specific argument: (key name, parser, default)
 _ARG_KEYS = {
@@ -279,12 +340,25 @@ _installed: FaultInjector | None = None
 _env_resolved = False
 
 
+def _warn_unknown_sites(specs, origin: str) -> None:
+    for glob in validate_plan(specs):
+        warnings.warn(
+            f"fault plan clause targets site {glob!r} which matches no "
+            f"registered site ({origin}) — it will never fire; see "
+            "repro.faults.SITES for the registry",
+            UnknownFaultSiteWarning,
+            stacklevel=3,
+        )
+
+
 def _from_env() -> FaultInjector | None:
     spec = os.environ.get(_ENV_KNOB, "").strip()
     if not spec:
         return None
     seed = int(os.environ.get(_ENV_SEED, "0"))
-    return FaultInjector(parse_plan(spec), seed=seed)
+    inj = FaultInjector(parse_plan(spec), seed=seed)
+    _warn_unknown_sites(inj.specs, origin=f"from ${_ENV_KNOB}")
+    return inj
 
 
 def active() -> FaultInjector | None:
@@ -312,6 +386,7 @@ def install(plan, seed: int = 0) -> FaultInjector:
     """
     global _installed, _env_resolved
     inj = plan if isinstance(plan, FaultInjector) else FaultInjector(plan, seed=seed)
+    _warn_unknown_sites(inj.specs, origin="installed plan")
     with _state_lock:
         _installed = inj
         _env_resolved = True

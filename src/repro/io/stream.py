@@ -53,9 +53,7 @@ keeping every step — and every shard — self-contained.
 from __future__ import annotations
 
 import io
-import itertools
 import json
-import os
 import threading
 import time
 from dataclasses import dataclass, field as dataclass_field
@@ -78,6 +76,8 @@ from .container import (
     write_refactored_stream,
     write_sharded_stream,
 )
+# _unique_tmp keeps its old home importable (tests patch/use it here)
+from .publish import atomic_publish as _atomic_publish, unique_tmp as _unique_tmp
 
 __all__ = [
     "StepStreamWriter",
@@ -97,10 +97,6 @@ _MAX_TORN_REFRESHES = 10
 
 _DURABILITY_LEVELS = ("rename", "fsync")
 
-#: process-unique suffix counter for temp names (see :func:`_unique_tmp`)
-_TMP_COUNTER = itertools.count()
-
-
 class StreamError(RuntimeError):
     """Malformed or inconsistent stream directory."""
 
@@ -112,55 +108,6 @@ class StreamError(RuntimeError):
 # StreamError by the shape checks).  Anything else is a bug, not
 # corruption.
 _DECODE_ERRORS = (ContainerError, StreamError, OSError, KeyError, ValueError)
-
-
-def _unique_tmp(dst: Path) -> Path:
-    """A collision-free temp path next to ``dst``.
-
-    ``<name>.<pid>.<seq>.tmp``: unique across writer processes sharing
-    a root (pid) and across commits within one process (seq), so a
-    crashed predecessor's stale ``.tmp`` can never be half-overwritten
-    by — or renamed under — a live commit.  Stale temps are swept on
-    writer open.
-    """
-    return dst.parent / f"{dst.name}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
-
-
-def _fsync_dir(path: Path) -> None:
-    """fsync a directory so a just-renamed entry survives power loss."""
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
-
-
-def _atomic_publish(dst: Path, payload: bytes, durability: str, site: str) -> None:
-    """Publish ``payload`` at ``dst`` via unique-temp write + atomic rename.
-
-    The one commit primitive of the stream layer (step files and the
-    manifest both go through it).  ``durability="fsync"`` fsyncs the
-    temp file before the rename and the parent directory after it, so
-    a completed publish survives power loss; ``"rename"`` (the default)
-    guarantees only atomicity — a crashed *machine* may lose or
-    truncate the file, which is exactly what the ``{site}.file``
-    corruption fault simulates.  Crash points: ``{site}.pre_tmp``
-    (nothing on disk yet), ``{site}.post_tmp`` (stale temp left
-    behind).  A fault-injected crash leaves the same artifacts a real
-    ``kill -9`` would.
-    """
-    faults.crash_point(f"{site}.pre_tmp")
-    tmp = _unique_tmp(dst)
-    with open(tmp, "wb") as f:
-        f.write(payload)
-        if durability == "fsync":
-            f.flush()
-            os.fsync(f.fileno())
-    faults.crash_point(f"{site}.post_tmp")
-    os.replace(tmp, dst)  # atomic on POSIX
-    if durability == "fsync":
-        _fsync_dir(dst.parent)
-    faults.corrupt_file(f"{site}.file", dst)
 
 
 @dataclass

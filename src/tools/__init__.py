@@ -1,0 +1,7 @@
+"""Developer tooling that ships with the repository (not the library).
+
+``tools.reprolint`` is the project's whole-program invariant checker —
+see its package docstring and ``DESIGN.md`` ("Static invariants").
+Nothing under ``tools`` may import ``repro``: the checkers analyze the
+tree statically so a broken library still lints.
+"""

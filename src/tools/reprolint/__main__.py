@@ -1,0 +1,5 @@
+"""``python -m tools.reprolint`` — same entry as the console script."""
+
+from .cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""Command-line front end of ``repro-lint``.
+
+Usage::
+
+    repro-lint [paths...]            # human output, exit 1 on new findings
+    repro-lint --json src tests      # machine output (CI)
+    repro-lint --list-rules
+    repro-lint --write-registry      # regenerate fault_sites.json
+    repro-lint --update-baseline     # grandfather current findings
+
+Exit codes: 0 clean, 1 new findings, 2 usage error.  "New" means not
+suppressed inline (``# reprolint: ok <rule> - <why>``) and not listed
+in the baseline file (``.reprolint-baseline.json`` at the project
+root, when present).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core import DEFAULT_PATHS, Report, baseline_doc, run_lint
+from .rules import ALL_RULES, make_rules
+from .rules.fault_sites import REGISTRY_RELPATH, FaultSiteRule
+
+BASELINE_NAME = ".reprolint-baseline.json"
+
+
+def _find_root(start: Path) -> Path:
+    cur = start.resolve()
+    for cand in (cur, *cur.parents):
+        if (cand / "pyproject.toml").is_file():
+            return cand
+    return cur
+
+
+def _human(report: Report) -> str:
+    lines = []
+    for f in report.findings:
+        tag = ""
+        if f.suppressed:
+            tag = "  (suppressed)"
+        elif f.baselined:
+            tag = "  (baselined)"
+        lines.append(f"{f}{tag}")
+    s = report.to_dict()["summary"]
+    lines.append(
+        f"repro-lint: {report.files_checked} files, "
+        f"{s['total']} findings ({s['new']} new, "
+        f"{s['suppressed']} suppressed, {s['baselined']} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def _write_registry(root: Path, paths) -> int:
+    rule = FaultSiteRule()
+    report = run_lint(root, paths=paths, rules=[rule])
+    if not rule.enabled:
+        print("repro-lint: no fault-site registry (src/repro/faults.py missing?)")
+        return 2
+    # the doc was computed during finalize; recompute against the tree
+    from .core import Project, load_module, _collect_files
+
+    files = _collect_files(root, paths or DEFAULT_PATHS)
+    project = Project(root, [load_module(f, root)[0] for f in files])
+    doc = rule.registry_doc(project)
+    out = root / REGISTRY_RELPATH
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    n = len(doc["sites"])
+    unexercised = [s for s, i in doc["sites"].items() if not i["exercised_by"]]
+    print(f"repro-lint: wrote {out} ({n} sites, {len(unexercised)} unexercised)")
+    for s in unexercised:
+        print(f"  NOT EXERCISED: {s}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="whole-program invariant checker for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=f"files/dirs to lint, relative to the project root (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument("--root", type=Path, default=None, help="project root (default: nearest pyproject.toml)")
+    parser.add_argument("--json", action="store_true", help="machine-readable report on stdout")
+    parser.add_argument("--rules", help="comma-separated subset of rules to run")
+    parser.add_argument("--list-rules", action="store_true", help="list rules and exit")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit",
+    )
+    parser.add_argument(
+        "--write-registry",
+        action="store_true",
+        help=f"regenerate {REGISTRY_RELPATH} from the tree and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.name:17s} {cls.summary}")
+        return 0
+
+    root = args.root.resolve() if args.root else _find_root(Path.cwd())
+    if args.write_registry:
+        return _write_registry(root, args.paths or None)
+
+    try:
+        rules = make_rules(args.rules.split(",")) if args.rules else make_rules()
+    except KeyError as e:
+        print(f"repro-lint: {e.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline = args.baseline
+    if baseline is None:
+        cand = root / BASELINE_NAME
+        baseline = cand if cand.is_file() else None
+
+    try:
+        report = run_lint(root, paths=args.paths or None, rules=rules, baseline_path=baseline)
+    except FileNotFoundError as e:
+        print(f"repro-lint: {e}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        out = args.baseline or (root / BASELINE_NAME)
+        out.write_text(json.dumps(baseline_doc(report), indent=1) + "\n")
+        print(f"repro-lint: baselined {len(report.new)} findings into {out}")
+        return 0
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(_human(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,101 @@
+"""``atomic-publish``: no torn files in the stream/storage layer.
+
+PR 6 closed the torn-manifest window by funnelling every stream-layer
+publish through ``_atomic_publish`` (unique temp + ``os.replace``); the
+storage tier writes with the same temp-then-rename idiom.  One raw
+``open(path, "wb")`` in ``repro/io/`` reopens that window: a crash mid
+``write()`` leaves a half-file under the *final* name, which readers
+then have to treat as corruption rather than absence.
+
+Inside ``src/repro/io/`` every file-creating write — ``open`` with a
+``w``/``a``/``x``/``+`` mode, ``os.fdopen`` likewise, or
+``Path.write_bytes``/``write_text`` — must sit in a function that
+either *is* the publish primitive or completes the idiom with an
+``os.replace``/``os.rename`` (write-to-temp, rename-to-publish).
+Read-only opens are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Finding, ModuleInfo, Project, Rule, enclosing_function
+
+_WRITE_CHARS = set("wax+")
+_PUBLISH_FUNCS = {"_atomic_publish", "atomic_publish"}
+
+
+def _write_mode(call: ast.Call, mode_pos: int) -> str | None:
+    """The mode string of an ``open``-style call if it writes, else None."""
+    mode = None
+    if len(call.args) > mode_pos:
+        a = call.args[mode_pos]
+        if isinstance(a, ast.Constant) and isinstance(a.value, str):
+            mode = a.value
+    for kw in call.keywords:
+        if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+            if isinstance(kw.value.value, str):
+                mode = kw.value.value
+    if mode is not None and _WRITE_CHARS & set(mode):
+        return mode
+    return None
+
+
+def _writing_call(node: ast.Call) -> str | None:
+    """A human label when ``node`` creates/overwrites a file."""
+    f = node.func
+    if isinstance(f, ast.Name) and f.id == "open":
+        mode = _write_mode(node, 1)
+        if mode is not None:
+            return f"open(..., {mode!r})"
+    if isinstance(f, ast.Attribute):
+        if f.attr == "fdopen" and isinstance(f.value, ast.Name) and f.value.id == "os":
+            mode = _write_mode(node, 1)
+            if mode is not None:
+                return f"os.fdopen(..., {mode!r})"
+        if f.attr in ("write_bytes", "write_text"):
+            return f".{f.attr}(...)"
+    return None
+
+
+def _has_rename(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("replace", "rename"):
+                v = node.func.value
+                if isinstance(v, ast.Name) and v.id == "os":
+                    return True
+    return False
+
+
+class AtomicPublishRule(Rule):
+    name = "atomic-publish"
+    summary = (
+        "file-creating writes under repro/io/ must go through "
+        "_atomic_publish or complete a temp-write + os.replace idiom"
+    )
+    paths = ("src/repro/io/*",)
+
+    def check_module(self, mod: ModuleInfo, project: Project):
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            label = _writing_call(node)
+            if label is None:
+                continue
+            func = enclosing_function(node)
+            if func is not None and func.name in _PUBLISH_FUNCS:
+                continue
+            if func is not None and _has_rename(func):
+                continue
+            yield Finding(
+                rule=self.name,
+                relpath=mod.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{label} publishes under the final name — a crash "
+                    "mid-write leaves a torn file; route through "
+                    "_atomic_publish or write to a temp and os.replace it"
+                ),
+            )

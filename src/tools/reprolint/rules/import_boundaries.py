@@ -1,0 +1,114 @@
+"""``import-boundary``: the layering contracts of the package graph.
+
+Three boundaries, each introduced by an earlier PR and otherwise
+enforced only by convention:
+
+* **numba** is imported exclusively through ``repro/kernels/jit.py``
+  (PR 7's guard: no-op ``njit`` fallback, ``REPRO_NO_NUMBA`` masking).
+  A stray ``import numba`` anywhere else breaks numba-less installs.
+* ``repro.compress`` must not import ``repro.io`` — PR 6 broke the
+  io↔compress cycle by hoisting the shared error root to
+  ``repro/errors.py``; a new back-edge would silently reintroduce it.
+* ``repro.service`` must not import ``repro.experiments`` — the
+  service is a library layer, experiments are its consumers.
+* ``tools`` must not import ``repro`` — the linter analyzes the tree
+  statically and has to keep working when the library is broken.
+
+Relative imports are resolved against the importing module's package
+before matching.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..core import Finding, ModuleInfo, Project, Rule
+
+#: (importer prefix, forbidden import prefix, why)
+FORBIDDEN = (
+    (
+        "repro.compress",
+        "repro.io",
+        "the io<->compress cycle was broken via repro.errors (PR 6); "
+        "share code through repro.errors or a lower layer",
+    ),
+    (
+        "repro.service",
+        "repro.experiments",
+        "the service layer is imported by experiments, never the reverse",
+    ),
+    (
+        "tools",
+        "repro",
+        "the linter must analyze the tree without importing it",
+    ),
+)
+
+_JIT_GUARD = "repro.kernels.jit"
+
+
+def _under(modname: str, prefix: str) -> bool:
+    return modname == prefix or modname.startswith(prefix + ".")
+
+
+def _resolve(mod: ModuleInfo, node: ast.ImportFrom) -> str:
+    """Absolute target of an ImportFrom (handles relative levels)."""
+    if node.level == 0:
+        return node.module or ""
+    parts = mod.modname.split(".")
+    # a package's __init__ is the package itself; a module's level-1
+    # base is its parent package
+    drop = node.level if not mod.is_package_init else node.level - 1
+    base = parts[: len(parts) - drop] if drop else parts
+    target = ".".join(base)
+    if node.module:
+        target = f"{target}.{node.module}" if target else node.module
+    return target
+
+
+class ImportBoundaryRule(Rule):
+    name = "import-boundary"
+    summary = (
+        "numba only via repro.kernels.jit; no compress->io or "
+        "service->experiments edges; tools never imports repro"
+    )
+    paths = ("src/*", "src/*/*", "src/*/*/*")
+
+    def check_module(self, mod: ModuleInfo, project: Project):
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                targets = [(a.name, node) for a in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                targets = [(_resolve(mod, node), node)]
+            else:
+                continue
+            for target, stmt in targets:
+                if not target:
+                    continue
+                if _under(target, "numba") and mod.modname != _JIT_GUARD:
+                    yield Finding(
+                        rule=self.name,
+                        relpath=mod.relpath,
+                        line=stmt.lineno,
+                        col=stmt.col_offset,
+                        message=(
+                            "numba must be imported only through "
+                            "repro.kernels.jit (the no-numba fallback guard); "
+                            "import njit/prange from there"
+                        ),
+                    )
+                    continue
+                for src_prefix, dst_prefix, why in FORBIDDEN:
+                    if _under(mod.modname, src_prefix) and _under(
+                        target, dst_prefix
+                    ):
+                        yield Finding(
+                            rule=self.name,
+                            relpath=mod.relpath,
+                            line=stmt.lineno,
+                            col=stmt.col_offset,
+                            message=(
+                                f"forbidden import edge {mod.modname} -> "
+                                f"{target}: {why}"
+                            ),
+                        )

@@ -148,6 +148,35 @@ class TestAmbientInjector:
         assert not issubclass(faults.InjectedCrash, Exception)
 
 
+class TestPlanValidation:
+    """install()/REPRO_FAULTS check plan site-globs against faults.SITES."""
+
+    def test_unknown_site_warns_on_install(self):
+        with pytest.warns(faults.UnknownFaultSiteWarning, match="no.such.site"):
+            faults.install("crash@no.such.site:count=1")
+
+    def test_env_plan_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "error@totally.wrong")
+        faults.clear()  # forces a re-read of the environment
+        with pytest.warns(faults.UnknownFaultSiteWarning, match="totally.wrong"):
+            faults.error_point("stream.step.pre_tmp")
+
+    def test_registered_sites_and_globs_accepted(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", faults.UnknownFaultSiteWarning)
+            faults.install("crash@stream.step.*:count=1")
+            faults.install("bitflip@container.read.shard 0:flips=1")  # family match
+            faults.install("kill@executor.process.map:count=1")
+
+    def test_validate_plan_reports_only_unmatched(self):
+        plan = faults.parse_plan("crash@stream.step.pre_tmp, error@typo.site")
+        assert faults.validate_plan(plan) == ["typo.site"]
+        assert faults.site_registered("container.read.anything")
+        assert not faults.site_registered("container.anything")
+
+
 class TestCorruptionHelpers:
     def test_corrupt_bytes_truncate(self):
         with faults.inject("truncate@site:frac=0.25"):
@@ -191,6 +220,7 @@ CRASH_SITES = (
     "stream.step.post_tmp",
     "stream.commit.post_rename",
     "stream.manifest.pre_flush",
+    "stream.manifest.pre_tmp",
     "stream.manifest.post_tmp",
 )
 
@@ -588,6 +618,97 @@ class TestScrub:
 
 # ----------------------------------------------------------------------
 # injected read-side faults flow through the recovery policy end to end
+
+
+class TestContainerWriteCrash:
+    """Standalone container publishes share the stream's crash contract
+    (``container.write.{pre_tmp,post_tmp,file}`` through atomic_publish)."""
+
+    def _cc(self):
+        from repro.core.refactor import Refactorer
+
+        return Refactorer(SHAPE).refactor(_frames(1)[0])
+
+    def test_crash_pre_tmp_leaves_nothing(self, tmp_path):
+        from repro.io.container import write_refactored
+
+        path = tmp_path / "c.rprc"
+        with faults.inject("crash@container.write.pre_tmp:count=1"):
+            with pytest.raises(faults.InjectedCrash):
+                write_refactored(path, self._cc())
+        assert list(tmp_path.iterdir()) == []
+        write_refactored(path, self._cc())  # clean retry succeeds
+        RefactoredFileReader(path).read_classes()
+
+    def test_crash_post_tmp_never_publishes_torn(self, tmp_path):
+        from repro.io.container import write_refactored
+
+        path = tmp_path / "c.rprc"
+        with faults.inject("crash@container.write.post_tmp:count=1"):
+            with pytest.raises(faults.InjectedCrash):
+                write_refactored(path, self._cc())
+        assert not path.exists()  # temp debris at worst, never the final name
+        assert len(list(tmp_path.glob("*.tmp"))) == 1
+        write_refactored(path, self._cc())
+        RefactoredFileReader(path).read_classes()
+
+    def test_corrupt_committed_file_detected(self, tmp_path):
+        from repro.io.container import write_refactored
+
+        path = tmp_path / "c.rprc"
+        with faults.inject("truncate@container.write.file:frac=0.5:count=1"):
+            write_refactored(path, self._cc())
+        with pytest.raises(ContainerError):
+            RefactoredFileReader(path).read_classes()
+
+
+def test_corrupt_manifest_follower_keeps_snapshot(tmp_path):
+    """A manifest that commits corrupt (``stream.manifest.file``) is a
+    torn read to a follower — it keeps its last good snapshot — and the
+    scrub reports the unreadable manifest."""
+    frames = _frames(2)
+    root = tmp_path / "s"
+    writer = StepStreamWriter(root, SHAPE)
+    writer.append(frames[0])
+    follower = StepStreamReader(root)
+    assert len(follower.steps) == 1
+    with faults.inject("truncate@stream.manifest.file:frac=0.3:count=1"):
+        writer.append(frames[1])
+    follower.refresh()
+    assert len(follower.steps) == 1
+    report = scrub_stream(root)
+    assert not report.clean and report.manifest_error is not None
+
+
+def test_payload_read_bitflip_detected(tmp_path):
+    """A flipped compressed-payload read (``fileio.read.payload``) fails
+    the per-payload CRC and surfaces as ContainerError, not junk data."""
+    root = tmp_path / "s"
+    writer = StepStreamWriter(root, SHAPE, tol=1e-3, key_interval=2)
+    for f in _frames(2):
+        writer.append(f)
+    reader = StepStreamReader(root)
+    with faults.inject("bitflip@fileio.read.payload:flips=8"):
+        with pytest.raises(ContainerError):
+            reader.read_step(1, on_error="raise")
+    assert float(np.abs(reader.read_step(1) - _frames(2)[1]).max()) <= 1e-3
+
+
+def test_shard_encode_error_surfaces_and_writer_recovers(tmp_path):
+    """A sick shard encode (``sharded.encode.shard``) fails the append
+    without committing anything; the disarmed retry commits cleanly."""
+    root = tmp_path / "s"
+    frame = _frames(1)[0]
+    writer = StepStreamWriter(root, SHAPE, tol=1e-3, shards=2)
+    with faults.inject("error@sharded.encode.shard:count=1"):
+        with pytest.raises(faults.InjectedFault):
+            writer.append(frame)
+    assert writer.n_steps == 0
+    writer.abandon_pending()  # the documented aborted-encode recovery
+    writer.append(frame)
+    reader = StepStreamReader(root)
+    assert float(np.abs(reader.read_region(0) - frame).max()) <= 1e-3
+    assert scrub_stream(root).clean
 
 
 def test_env_spec_drives_reader_recovery(tmp_path, monkeypatch):
